@@ -1,0 +1,40 @@
+"""Table 2: the mined relation taxonomy.
+
+Relation discovery (§3.1) mines predicate patterns from the teacher's
+raw generations (produced under the four seed relations) and must
+recover the 15-relation taxonomy with the right tail types.
+"""
+
+from conftest import publish
+
+from repro.core import RelationDiscovery
+from repro.core.relations import RELATION_SPECS, Relation
+from repro.reporting import Table
+
+
+def test_table2_relation_discovery(bench_pipeline, benchmark):
+    texts = [c.text for c in bench_pipeline.candidates]
+    discovery = RelationDiscovery(min_count=3)
+    mined = benchmark(discovery.mine, texts)
+
+    table = Table(
+        "Table 2 — mined e-commerce commonsense relations",
+        ["Relation", "Tail Type", "Pattern", "Count", "Example"],
+    )
+    for record in mined:
+        tail_type = record.tail_type.value if record.tail_type else "(unresolved)"
+        example = record.examples[0] if record.examples else ""
+        table.add_row(record.relation.value, tail_type, record.pattern,
+                      record.count, example)
+    publish("table2_relations", table.render())
+
+    mined_relations = {record.relation for record in mined}
+    # Shape: the paper's 15-relation taxonomy is recovered from raw text.
+    assert len(mined_relations) >= 13
+    # The canonicalization split of "used for" by tail type happens.
+    assert Relation.USED_FOR_FUNC in mined_relations or Relation.USED_FOR_EVE in mined_relations
+    # Tail types agree with Table 2 where resolved.
+    for record in mined:
+        if record.tail_type is not None and record.pattern != "is used for":
+            expected = RELATION_SPECS[record.relation].tail_type
+            assert record.tail_type == expected or record.relation.value.startswith("USED_FOR")

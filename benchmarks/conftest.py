@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures.
+
+One bench-scale pipeline run (with a finetuned COSMO-LM) backs most of
+the table/figure benches; it is computed once per session.  Every bench
+prints its paper-shaped table and also writes it under
+``benchmarks/results/`` so the regenerated artifacts survive pytest's
+output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.behavior import WorldConfig
+from repro.core import CosmoLMConfig, CosmoPipeline, PipelineConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_PIPELINE_CONFIG = PipelineConfig(
+    seed=7,
+    world=WorldConfig(
+        seed=7,
+        products_per_domain=60,
+        broad_queries_per_domain=30,
+        specific_queries_per_domain=30,
+    ),
+    cobuy_pairs_per_domain=100,
+    searchbuy_records_per_domain=150,
+    annotation_budget=3000,
+    lm=CosmoLMConfig(epochs=18, hidden_dim=96, lr=3e-3),
+)
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline():
+    """The bench-scale pipeline result (trains COSMO-LM once)."""
+    return CosmoPipeline(BENCH_PIPELINE_CONFIG).run()
+
+
+@pytest.fixture(scope="session")
+def bench_world(bench_pipeline):
+    return bench_pipeline.world
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

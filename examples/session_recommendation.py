@@ -1,0 +1,58 @@
+"""Session-based recommendation with COSMO-GNN (paper §4.2, Table 8 shape).
+
+Simulates session logs for one domain, trains a set of recommenders
+including GCE-GNN and COSMO-GNN (GCE-GNN + knowledge embeddings), and
+compares Hits/NDCG/MRR@10.
+
+Run:  python examples/session_recommendation.py
+"""
+
+from repro.apps.recommendation import (
+    TrainConfig,
+    build_session_dataset,
+    evaluate_session_model,
+    train_session_model,
+)
+from repro.behavior import SessionConfig, World, WorldConfig, simulate_sessions
+from repro.embeddings import TextEncoder
+from repro.reporting import Table, format_float
+
+
+def main() -> None:
+    world = World(WorldConfig(seed=9, products_per_domain=48,
+                              broad_queries_per_domain=15, specific_queries_per_domain=15))
+    log = simulate_sessions(
+        world,
+        SessionConfig(domain="Electronics", n_sessions=1200,
+                      mean_length=10.0, revise_prob=0.2),
+        seed=9,
+    )
+    print(f"Sessions: {log.stats()}")
+
+    encoder = TextEncoder(dim=64, seed=9)
+    # Knowledge provider: the oracle query-intent explanation (the example
+    # stays fast; the benchmark uses a finetuned COSMO-LM).
+    dataset = build_session_dataset(
+        log, max_len=8,
+        knowledge_provider=lambda query, item_id: query,
+        encoder=encoder,
+    )
+    print(f"Items {dataset.n_items - 1}, train/dev/test = "
+          f"{len(dataset.train)}/{len(dataset.dev)}/{len(dataset.test)}")
+
+    config = TrainConfig(epochs=2, dim=40)
+    table = Table("Session recommendation (Table 8 shape)",
+                  ["Method", "Hits@10", "NDCG@10", "MRR@10"])
+    for name in ("FPMC", "GRU4Rec", "SRGNN", "GCE-GNN", "COSMO-GNN"):
+        model = train_session_model(name, dataset, config, seed=9)
+        metrics = evaluate_session_model(model, dataset, config=config)
+        table.add_row(name, *(format_float(metrics[k]) for k in
+                              ("Hits@10", "NDCG@10", "MRR@10")))
+    print()
+    print(table.render())
+    print("\nExpected shape: GNN models beat sequential baselines and")
+    print("COSMO-GNN's query-knowledge features lift GCE-GNN further.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""COSMO reproduction: e-commerce commonsense knowledge generation & serving.
+
+A from-scratch Python reproduction of *COSMO: A Large-Scale E-commerce
+Common Sense Knowledge Generation and Serving System at Amazon* (SIGMOD
+2024).  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Top-level layout:
+
+* :mod:`repro.catalog`, :mod:`repro.behavior` — the synthetic marketplace
+  (substitute for the proprietary Amazon logs);
+* :mod:`repro.llm`, :mod:`repro.embeddings`, :mod:`repro.nn` — the model
+  substrate (teacher LLM, trainable student, autodiff library);
+* :mod:`repro.annotation` — simulated human-in-the-loop labeling;
+* :mod:`repro.core` — the COSMO pipeline itself (§3);
+* :mod:`repro.serving` — the deployment layer (§3.5);
+* :mod:`repro.apps` — search relevance, session recommendation, and
+  search navigation (§4).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "annotation",
+    "apps",
+    "behavior",
+    "catalog",
+    "core",
+    "embeddings",
+    "llm",
+    "nn",
+    "reporting",
+    "serving",
+    "utils",
+]

@@ -1,0 +1,15 @@
+"""Human-in-the-loop annotation simulator (§3.3.2, Appendix B)."""
+
+from repro.annotation.annotators import Annotator, AnnotatorPool
+from repro.annotation.audit import AuditReport, audit_annotations
+from repro.annotation.schema import QUESTIONS, TRUTH_TABLE, AnnotationResult
+
+__all__ = [
+    "QUESTIONS",
+    "TRUTH_TABLE",
+    "AnnotationResult",
+    "Annotator",
+    "AnnotatorPool",
+    "AuditReport",
+    "audit_annotations",
+]

@@ -1,0 +1,3 @@
+"""The paper's three downstream applications (§4)."""
+
+__all__ = ["relevance", "recommendation", "navigation"]

@@ -1,0 +1,31 @@
+"""Search navigation application (§4.3): intent hierarchies, multi-turn
+navigation, and the online A/B experiment simulator."""
+
+from repro.apps.navigation.experiments import ABTestResult, ArmOutcome, NavigationABTest
+from repro.apps.navigation.hierarchy import (
+    IntentNode,
+    NavigationHierarchy,
+    build_navigation_hierarchy,
+)
+from repro.apps.navigation.navigator import (
+    CosmoNavigator,
+    NavigationTurn,
+    Suggestion,
+    TaxonomyNavigator,
+)
+from repro.apps.navigation.query_rewrites import QueryRewriteStudy, RewriteOutcome
+
+__all__ = [
+    "IntentNode",
+    "NavigationHierarchy",
+    "build_navigation_hierarchy",
+    "Suggestion",
+    "NavigationTurn",
+    "TaxonomyNavigator",
+    "CosmoNavigator",
+    "ArmOutcome",
+    "ABTestResult",
+    "NavigationABTest",
+    "QueryRewriteStudy",
+    "RewriteOutcome",
+]

@@ -1,0 +1,128 @@
+"""Intent hierarchy construction for search navigation (§4.3, Figure 8).
+
+COSMO tail knowledge is organized into coarse→fine intent hierarchies
+("camping" → "winter camping", "lakeside camping") whose leaves link to
+product concepts ("winter boots").  Here the hierarchy is built from the
+knowledge graph: modifier-prefixed tails nest under their base tail, and
+each tail links to the product types of the heads its edges explain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.behavior.world import World
+from repro.core.kg import KnowledgeGraph
+
+__all__ = ["IntentNode", "NavigationHierarchy", "build_navigation_hierarchy"]
+
+
+@dataclass
+class IntentNode:
+    """One intent concept in the navigation hierarchy."""
+
+    label: str
+    domain: str
+    children: list["IntentNode"] = field(default_factory=list)
+    product_types: list[str] = field(default_factory=list)
+
+    def depth(self) -> int:
+        """Height of this subtree (1 for a leaf)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def descendant_count(self) -> int:
+        """Number of refined intents nested under this node."""
+        return len(self.children) + sum(c.descendant_count() for c in self.children)
+
+
+@dataclass
+class NavigationHierarchy:
+    """All root intents per domain, with lookup helpers."""
+
+    roots: dict[str, list[IntentNode]]  # domain → root nodes
+
+    def domains(self) -> list[str]:
+        """Domains with at least one intent root."""
+        return sorted(self.roots)
+
+    def for_domain(self, domain: str) -> list[IntentNode]:
+        """Root intent nodes of one domain."""
+        return self.roots.get(domain, [])
+
+    def find(self, domain: str, label: str) -> IntentNode | None:
+        """Depth-first lookup of an intent node by its label."""
+        def walk(nodes: list[IntentNode]):
+            for node in nodes:
+                if node.label == label:
+                    return node
+                found = walk(node.children)
+                if found is not None:
+                    return found
+            return None
+
+        return walk(self.for_domain(domain))
+
+    def stats(self) -> dict[str, float]:
+        """Figure 8-shaped summary: roots, refined intents, linked types."""
+        roots = sum(len(nodes) for nodes in self.roots.values())
+        refined = sum(
+            node.descendant_count() for nodes in self.roots.values() for node in nodes
+        )
+        linked = sum(
+            len(node.product_types) + sum(len(c.product_types) for c in node.children)
+            for nodes in self.roots.values()
+            for node in nodes
+        )
+        max_depth = max(
+            (node.depth() for nodes in self.roots.values() for node in nodes),
+            default=0,
+        )
+        return {
+            "root_intents": roots,
+            "refined_intents": refined,
+            "linked_product_types": linked,
+            "max_depth": max_depth,
+        }
+
+
+def build_navigation_hierarchy(kg: KnowledgeGraph, world: World) -> NavigationHierarchy:
+    """Assemble the per-domain hierarchy from KG tails.
+
+    A tail "winter camping" nests under "camping" when both occur as
+    tails in the same domain; each node links the product types of the
+    products whose behaviors its knowledge edges explain.
+    """
+    roots: dict[str, list[IntentNode]] = {}
+    for domain in {t.domain for t in kg.triples()}:
+        triples = kg.for_domain(domain)
+        tails = {t.tail for t in triples}
+        tail_types: dict[str, set[str]] = {}
+        for triple in triples:
+            types = set()
+            for product_id in triple.head_ids:
+                if product_id in world.catalog:
+                    types.add(world.catalog.get(product_id).product_type)
+            tail_types.setdefault(triple.tail, set()).update(types)
+
+        children_map: dict[str, list[str]] = {}
+        root_labels: list[str] = []
+        for tail in sorted(tails):
+            parts = tail.split(" ", 1)
+            parent = parts[1] if len(parts) == 2 and parts[1] in tails else None
+            if parent is not None:
+                children_map.setdefault(parent, []).append(tail)
+            else:
+                root_labels.append(tail)
+
+        def build(label: str) -> IntentNode:
+            return IntentNode(
+                label=label,
+                domain=domain,
+                children=[build(child) for child in sorted(children_map.get(label, []))],
+                product_types=sorted(tail_types.get(label, set())),
+            )
+
+        roots[domain] = [build(label) for label in root_labels]
+    return NavigationHierarchy(roots=roots)

@@ -1,0 +1,50 @@
+"""Session-based recommendation application (§4.2): 7 baselines and
+COSMO-GNN over the synthetic session logs."""
+
+from repro.apps.recommendation.baselines import CSRM, FPMC, GRU4Rec, STAMP
+from repro.apps.recommendation.cosmo_gnn import CosmoGNN
+from repro.apps.recommendation.datasets import (
+    SessionDataset,
+    SessionExample,
+    build_session_dataset,
+)
+from repro.apps.recommendation.gnn import (
+    GCEGNN,
+    GCSAN,
+    SRGNN,
+    build_global_graph,
+    build_session_graphs,
+)
+from repro.apps.recommendation.metrics import hits_at_k, mrr_at_k, ndcg_at_k, ranking_metrics
+from repro.apps.recommendation.train import (
+    MODEL_NAMES,
+    TrainConfig,
+    build_model,
+    evaluate_session_model,
+    train_session_model,
+)
+
+__all__ = [
+    "FPMC",
+    "GRU4Rec",
+    "STAMP",
+    "CSRM",
+    "SRGNN",
+    "GCSAN",
+    "GCEGNN",
+    "CosmoGNN",
+    "build_global_graph",
+    "build_session_graphs",
+    "SessionDataset",
+    "SessionExample",
+    "build_session_dataset",
+    "hits_at_k",
+    "ndcg_at_k",
+    "mrr_at_k",
+    "ranking_metrics",
+    "MODEL_NAMES",
+    "TrainConfig",
+    "build_model",
+    "train_session_model",
+    "evaluate_session_model",
+]

@@ -1,0 +1,45 @@
+"""Classification metrics for the ESCI task: Macro and Micro F1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["f1_scores", "macro_f1", "micro_f1"]
+
+
+def _per_class_counts(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int):
+    tp = np.zeros(n_classes)
+    fp = np.zeros(n_classes)
+    fn = np.zeros(n_classes)
+    for cls in range(n_classes):
+        tp[cls] = np.sum((y_pred == cls) & (y_true == cls))
+        fp[cls] = np.sum((y_pred == cls) & (y_true != cls))
+        fn[cls] = np.sum((y_pred != cls) & (y_true == cls))
+    return tp, fp, fn
+
+
+def f1_scores(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """Per-class F1 (0 where a class has no predictions and no truth)."""
+    tp, fp, fn = _per_class_counts(np.asarray(y_true), np.asarray(y_pred), n_classes)
+    precision = np.divide(tp, tp + fp, out=np.zeros_like(tp), where=(tp + fp) > 0)
+    recall = np.divide(tp, tp + fn, out=np.zeros_like(tp), where=(tp + fn) > 0)
+    denom = precision + recall
+    return np.divide(2 * precision * recall, denom, out=np.zeros_like(tp), where=denom > 0)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> float:
+    """Unweighted mean of per-class F1 — the paper's headline metric."""
+    return float(f1_scores(y_true, y_pred, n_classes).mean())
+
+
+def micro_f1(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> float:
+    """Micro-averaged F1 (equals accuracy for single-label tasks)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp, fp, fn = _per_class_counts(y_true, y_pred, n_classes)
+    total_tp, total_fp, total_fn = tp.sum(), fp.sum(), fn.sum()
+    if total_tp == 0:
+        return 0.0
+    precision = total_tp / (total_tp + total_fp)
+    recall = total_tp / (total_tp + total_fn)
+    return float(2 * precision * recall / (precision + recall))

@@ -1,0 +1,43 @@
+"""Behavior simulators: the proprietary-log substitute (see DESIGN.md §2)."""
+
+from repro.behavior.cobuy import CoBuyLog, CoBuyPair, simulate_cobuy
+from repro.behavior.esci import (
+    ESCIDataset,
+    ESCIExample,
+    ESCILabel,
+    LOCALES,
+    generate_esci,
+)
+from repro.behavior.intents import Intent, IntentSpace
+from repro.behavior.searchbuy import SearchBuyLog, SearchBuyRecord, simulate_searchbuy
+from repro.behavior.sessions import (
+    Session,
+    SessionConfig,
+    SessionLog,
+    SessionStep,
+    simulate_sessions,
+)
+from repro.behavior.world import World, WorldConfig
+
+__all__ = [
+    "Intent",
+    "IntentSpace",
+    "World",
+    "WorldConfig",
+    "CoBuyPair",
+    "CoBuyLog",
+    "simulate_cobuy",
+    "SearchBuyRecord",
+    "SearchBuyLog",
+    "simulate_searchbuy",
+    "Session",
+    "SessionStep",
+    "SessionConfig",
+    "SessionLog",
+    "simulate_sessions",
+    "ESCILabel",
+    "ESCIExample",
+    "ESCIDataset",
+    "LOCALES",
+    "generate_esci",
+]

@@ -1,0 +1,133 @@
+"""Search-buy behavior simulator (§3.1, §3.2.1).
+
+A search-buy record is a (query, purchased product) pair with click and
+purchase counts.  Broad queries buy products serving the query's latent
+intent; specific queries buy products of the named type; a noise fraction
+buys an unrelated product.  Query engagement (clicks/purchases) follows
+the query popularity so the purchase-rate and click-rate thresholds of
+the paper's sampling strategy have real distributions to cut.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behavior.world import World
+from repro.catalog.queries import Query
+from repro.utils.rng import spawn_rng
+
+__all__ = ["SearchBuyRecord", "SearchBuyLog", "simulate_searchbuy"]
+
+
+@dataclass(frozen=True)
+class SearchBuyRecord:
+    """An aggregated (query, product) purchase edge."""
+
+    record_id: str
+    query_id: str
+    product_id: str
+    domain: str
+    clicks: int
+    purchases: int
+    intent_id: str | None  # ground truth; None for noise records
+
+
+class SearchBuyLog:
+    """Aggregated search-buy records with engagement lookups."""
+
+    def __init__(self, records: list[SearchBuyRecord]):
+        self.records = records
+        self._query_purchases: Counter[str] = Counter()
+        self._query_clicks: Counter[str] = Counter()
+        self._product_purchases: Counter[str] = Counter()
+        for record in records:
+            self._query_purchases[record.query_id] += record.purchases
+            self._query_clicks[record.query_id] += record.clicks
+            self._product_purchases[record.product_id] += record.purchases
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def for_domain(self, domain: str) -> list[SearchBuyRecord]:
+        return [record for record in self.records if record.domain == domain]
+
+    def query_engagement(self, query_id: str) -> tuple[int, int]:
+        """Total (clicks, purchases) observed for a query."""
+        return self._query_clicks[query_id], self._query_purchases[query_id]
+
+    def purchase_rate(self, query_id: str) -> float:
+        clicks, purchases = self.query_engagement(query_id)
+        if clicks == 0:
+            return 0.0
+        return purchases / clicks
+
+    def product_degree(self, product_id: str) -> int:
+        """Purchases of a product across all queries (popularity proxy)."""
+        return self._product_purchases[product_id]
+
+
+def _pick_product(world: World, query: Query, rng: np.random.Generator):
+    """Choose the purchased product for a query, honoring ground truth."""
+    if query.breadth == "broad" and query.intent_id is not None:
+        candidates = world.catalog.serving_intent(query.intent_id)
+        intent_id = query.intent_id
+    elif query.product_type is not None:
+        candidates = world.catalog.for_type(query.domain, query.product_type)
+        intent_id = None
+    else:
+        candidates = []
+        intent_id = None
+    if not candidates:
+        return None
+    popularity = np.array([p.popularity for p in candidates])
+    chosen = candidates[int(rng.choice(len(candidates), p=popularity / popularity.sum()))]
+    if intent_id is None and chosen.intent_ids:
+        # Specific-query purchases still have a latent reason: one of the
+        # product's own intents, used by the oracle when judging knowledge.
+        intent_id = chosen.intent_ids[int(rng.integers(len(chosen.intent_ids)))]
+    return chosen, intent_id
+
+
+def simulate_searchbuy(
+    world: World,
+    records_per_domain: int = 150,
+    noise_rate: float = 0.12,
+    seed: int = 0,
+) -> SearchBuyLog:
+    """Emit search-buy behavior for every domain of the world."""
+    rng = spawn_rng(seed, "searchbuy")
+    records: list[SearchBuyRecord] = []
+    for domain_index, domain in enumerate(sorted({q.domain for q in world.queries.all()})):
+        queries = world.queries.for_domain(domain)
+        popularity = np.array([q.popularity for q in queries])
+        weights = popularity / popularity.sum()
+        counter = 0
+        for _ in range(records_per_domain):
+            query = queries[int(rng.choice(len(queries), p=weights))]
+            if rng.random() < noise_rate:
+                products = world.catalog.all()
+                product = products[int(rng.integers(len(products)))]
+                intent_id = None
+            else:
+                picked = _pick_product(world, query, rng)
+                if picked is None:
+                    continue
+                product, intent_id = picked
+            clicks = int(rng.geometric(1.0 / (2.0 + query.popularity)))
+            purchases = max(1, int(rng.binomial(clicks, 0.4)))
+            records.append(
+                SearchBuyRecord(
+                    record_id=f"sb{domain_index:02d}-{counter:05d}",
+                    query_id=query.query_id,
+                    product_id=product.product_id,
+                    domain=domain,
+                    clicks=max(clicks, purchases),
+                    purchases=purchases,
+                    intent_id=intent_id,
+                )
+            )
+            counter += 1
+    return SearchBuyLog(records)

@@ -1,0 +1,158 @@
+"""Synthetic product catalog.
+
+Products are generated per domain with a *browse-node*-like product type
+(§3.2.1), a composed title (brand + attribute modifiers + type), a
+Zipf-like popularity, and ground-truth intent assignments drawn from the
+domain's intent pool.  Titles deliberately contain only brand/attribute/
+type tokens — never activity vocabulary — so the query↔product semantic
+gap the paper motivates (§4.1) is real in this world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.catalog.domains import Domain, all_domains
+from repro.catalog.vocab import BRANDS, MODIFIERS
+from repro.utils.rng import spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.behavior.intents import Intent, IntentSpace
+
+__all__ = ["Product", "ProductCatalog", "build_catalog"]
+
+# Intents assigned to each product type (its "purpose pool").
+_INTENTS_PER_TYPE = (4, 7)
+# Intents each individual product serves, sampled from its type pool.
+# Real products have several facets; this is also what makes co-buy
+# explanations genuinely ambiguous (the teacher's one-sided failure mode).
+_INTENTS_PER_PRODUCT = (2, 4)
+
+
+@dataclass(frozen=True)
+class Product:
+    """One catalog item."""
+
+    product_id: str
+    domain: str
+    product_type: str
+    brand: str
+    title: str
+    attributes: tuple[str, ...]
+    popularity: float
+    intent_ids: tuple[str, ...]
+
+
+class ProductCatalog:
+    """Indexed access to all generated products."""
+
+    def __init__(self, products: list[Product]):
+        self._products = {p.product_id: p for p in products}
+        self._by_domain: dict[str, list[Product]] = {}
+        self._by_type: dict[tuple[str, str], list[Product]] = {}
+        self._by_intent: dict[str, list[Product]] = {}
+        for product in products:
+            self._by_domain.setdefault(product.domain, []).append(product)
+            self._by_type.setdefault((product.domain, product.product_type), []).append(product)
+            for intent_id in product.intent_ids:
+                self._by_intent.setdefault(intent_id, []).append(product)
+
+    def __len__(self) -> int:
+        return len(self._products)
+
+    def __contains__(self, product_id: str) -> bool:
+        return product_id in self._products
+
+    def get(self, product_id: str) -> Product:
+        return self._products[product_id]
+
+    def all(self) -> list[Product]:
+        return list(self._products.values())
+
+    def for_domain(self, domain: str) -> list[Product]:
+        return list(self._by_domain.get(domain, []))
+
+    def for_type(self, domain: str, product_type: str) -> list[Product]:
+        return list(self._by_type.get((domain, product_type), []))
+
+    def serving_intent(self, intent_id: str) -> list[Product]:
+        """Products whose ground truth includes ``intent_id``."""
+        return list(self._by_intent.get(intent_id, []))
+
+    def product_types(self, domain: str) -> list[str]:
+        return sorted({p.product_type for p in self.for_domain(domain)})
+
+
+def _type_intent_pools(
+    domain: Domain,
+    intents: "list[Intent]",
+    rng: np.random.Generator,
+) -> dict[str, list[str]]:
+    """Assign each product type a pool of compatible intent ids.
+
+    Every intent is guaranteed at least one type so no knowledge is
+    unreachable, then types draw additional intents at random.
+    """
+    pools: dict[str, list[str]] = {ptype: [] for ptype in domain.product_types}
+    types = list(domain.product_types)
+    intent_ids = [intent.intent_id for intent in intents]
+    # Spread every intent over ~3 types so broad (intent-verbalizing)
+    # queries genuinely match several product types — the breadth the
+    # specificity service measures.
+    for index, intent_id in enumerate(intent_ids):
+        for hop in range(3):
+            pools[types[(index + hop * 5) % len(types)]].append(intent_id)
+    for ptype in types:
+        want = int(rng.integers(*_INTENTS_PER_TYPE, endpoint=True))
+        while len(pools[ptype]) < want and intent_ids:
+            candidate = intent_ids[int(rng.integers(len(intent_ids)))]
+            if candidate not in pools[ptype]:
+                pools[ptype].append(candidate)
+    return pools
+
+
+def build_catalog(
+    intent_space: "IntentSpace",
+    products_per_domain: int = 60,
+    seed: int = 0,
+) -> ProductCatalog:
+    """Generate the full 18-domain catalog.
+
+    Popularity follows a Pareto distribution so top-tier product sampling
+    (§3.2.1) has real head/tail structure to select from.
+    """
+    rng = spawn_rng(seed, "catalog")
+    products: list[Product] = []
+    for domain_index, domain in enumerate(all_domains()):
+        intents = intent_space.for_domain(domain.name)
+        pools = _type_intent_pools(domain, intents, rng)
+        for item_index in range(products_per_domain):
+            ptype = domain.product_types[item_index % len(domain.product_types)]
+            brand = BRANDS[int(rng.integers(len(BRANDS)))]
+            n_attrs = int(rng.integers(1, 3))
+            attr_idx = rng.choice(len(MODIFIERS), size=n_attrs, replace=False)
+            attributes = tuple(MODIFIERS[int(i)] for i in attr_idx)
+            title = " ".join((brand, *attributes, ptype))
+            pool = pools[ptype]
+            n_intents = min(
+                int(rng.integers(*_INTENTS_PER_PRODUCT, endpoint=True)), len(pool)
+            )
+            chosen = rng.choice(len(pool), size=max(n_intents, 1), replace=False) if pool else []
+            intent_ids = tuple(pool[int(i)] for i in chosen)
+            popularity = float(rng.pareto(1.5) + 0.1)
+            products.append(
+                Product(
+                    product_id=f"p{domain_index:02d}-{item_index:04d}",
+                    domain=domain.name,
+                    product_type=ptype,
+                    brand=brand,
+                    title=title,
+                    attributes=attributes,
+                    popularity=popularity,
+                    intent_ids=intent_ids,
+                )
+            )
+    return ProductCatalog(products)

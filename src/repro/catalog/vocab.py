@@ -1,0 +1,456 @@
+"""Per-domain lexicons for the synthetic e-commerce world.
+
+The paper's 18 major Amazon categories (Table 3) each get a compact word
+bank: product types (with characteristic attribute words) and intent
+phrases bucketed by the tail types of Table 2 (function, activity,
+audience, location, time, body part, interest, complement).  All synthetic
+products, queries and knowledge tails are composed from these banks, so
+the vocabulary statistics — and crucially the *semantic gap* between
+query-side activity words and product-side title words — are controlled.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DOMAINS", "DOMAIN_SPECS", "BRANDS", "MODIFIERS", "GENERIC_TAILS"]
+
+# The 18 category names exactly as Table 3 lists them.
+DOMAINS: tuple[str, ...] = (
+    "Clothing, Shoes & Jewelry",
+    "Sports & Outdoors",
+    "Home & Kitchen",
+    "Patio, Lawn & Garden",
+    "Tools & Home Improvement",
+    "Musical Instruments",
+    "Industrial & Scientific",
+    "Automotive",
+    "Electronics",
+    "Baby Products",
+    "Arts, Crafts & Sewing",
+    "Health & Household",
+    "Toys & Games",
+    "Video Games",
+    "Grocery & Gourmet Food",
+    "Office Products",
+    "Pet Supplies",
+    "Others",
+)
+
+# Brand tokens shared across domains; titles read "<brand> <attrs> <type>".
+BRANDS: tuple[str, ...] = (
+    "acmetek", "norvik", "zelora", "brightpeak", "holloway", "quintro",
+    "verano", "lumastra", "peakforge", "oakline", "sundale", "averix",
+    "calmora", "dryft", "eastbay", "fenwick", "glenmor", "harbin",
+)
+
+# Attribute modifiers used in titles and specific queries.
+MODIFIERS: tuple[str, ...] = (
+    "premium", "compact", "heavy duty", "lightweight", "adjustable",
+    "waterproof", "portable", "ergonomic", "rechargeable", "foldable",
+    "stainless steel", "wireless", "organic", "insulated", "non slip",
+)
+
+# Intent refinement modifiers (drive the Figure 8 hierarchy: a coarse
+# activity such as "camping" expands to "winter camping" etc.).
+ACTIVITY_MODIFIERS: tuple[str, ...] = (
+    "winter", "summer", "indoor", "outdoor", "family", "beginner",
+    "professional", "weekend", "overnight", "lakeside", "mountain",
+)
+
+# Generic, unhelpful tails the teacher LLM sometimes emits (§1): these are
+# exactly the failure modes the refinement stage must remove.
+GENERIC_TAILS: tuple[str, ...] = (
+    "used for the same reason",
+    "because they like them",
+    "because customers often buy them together",
+    "used for many things",
+    "because it is a good product",
+    "because it was on sale",
+    "used with other products",
+    "because people need it",
+)
+
+# Each spec: product types (name -> complement type), and intent banks.
+# Intent banks follow Table 2 tail types.
+DOMAIN_SPECS: dict[str, dict] = {
+    "Clothing, Shoes & Jewelry": {
+        "product_types": (
+            "running shoes", "dress shirt", "rain jacket", "wool sweater",
+            "denim jeans", "leather belt", "silver necklace", "hiking boots",
+            "ankle socks", "baseball cap", "normal suit", "winter coat",
+        ),
+        "functions": (
+            "keep warm", "provide arch support", "prevent blisters",
+            "wick away sweat", "protect from rain", "match formal outfits",
+        ),
+        "activities": (
+            "attend a wedding party", "go jogging", "hiking", "biking",
+            "commute to work", "travel abroad", "attend a job interview",
+        ),
+        "audiences": ("runners", "office workers", "brides", "teenagers"),
+        "locations": ("gym", "office", "trail"),
+        "times": ("late winter", "rainy season", "summer"),
+        "body_parts": ("feet", "sensitive skin", "ankles"),
+        "interests": ("fashion", "outdoor sports"),
+        "complements": ("shoe laces", "garment bag", "jewelry box"),
+    },
+    "Sports & Outdoors": {
+        "product_types": (
+            "air mattress", "camping tent", "sleeping bag", "yoga mat",
+            "water bottle", "trekking poles", "fishing rod", "kayak paddle",
+            "resistance bands", "camping stove", "headlamp", "winter boots",
+        ),
+        "functions": (
+            "provide arch support", "keep drinks cold", "hold a lot of weight",
+            "provide insulation from the ground", "light up the campsite",
+        ),
+        "activities": (
+            "camping", "hiking", "fishing", "yoga practice", "trail running",
+            "kayaking", "backpacking", "rock climbing",
+        ),
+        "audiences": ("campers", "hikers", "anglers", "climbers"),
+        "locations": ("campsite", "lakeside", "mountain trail"),
+        "times": ("summer", "early spring", "late winter"),
+        "body_parts": ("knees", "back", "feet"),
+        "interests": ("outdoor adventure", "fitness"),
+        "complements": ("tent stakes", "paddle leash", "mat strap"),
+    },
+    "Home & Kitchen": {
+        "product_types": (
+            "chef knife", "cutting board", "vegetable peeler", "air fryer",
+            "coffee grinder", "mixing bowl", "storage container", "bed sheet",
+            "throw pillow", "table lamp", "spice rack", "dish rack",
+        ),
+        "functions": (
+            "peel potatoes", "chop vegetables", "hold snacks", "grind coffee beans",
+            "keep leftovers fresh", "brighten the room",
+        ),
+        "activities": (
+            "host a dinner party", "meal prep for the week", "bake bread",
+            "organize the pantry", "redecorate the bedroom",
+        ),
+        "audiences": ("home cooks", "new homeowners", "baking enthusiasts"),
+        "locations": ("kitchen", "bedroom", "dining room"),
+        "times": ("holiday season", "weekend mornings"),
+        "body_parts": ("hands",),
+        "interests": ("cooking", "home decor"),
+        "complements": ("knife sharpener", "lamp shade", "bowl lid"),
+    },
+    "Patio, Lawn & Garden": {
+        "product_types": (
+            "garden hose", "pruning shears", "patio umbrella", "bird feeder",
+            "lawn mower blade", "planter box", "hammock", "fire pit",
+            "fence post", "weed barrier", "watering can", "string lights",
+        ),
+        "functions": (
+            "water the flower beds", "trim rose bushes", "provide shade",
+            "attract songbirds", "build a fence",
+        ),
+        "activities": (
+            "hang out in the backyard", "host a barbecue", "grow vegetables",
+            "landscape the yard", "evening gatherings",
+        ),
+        "audiences": ("gardeners", "homeowners", "bird watchers"),
+        "locations": ("backyard", "patio", "greenhouse"),
+        "times": ("early spring", "summer evenings"),
+        "body_parts": ("hands", "back"),
+        "interests": ("gardening", "outdoor living"),
+        "complements": ("hose nozzle", "umbrella base", "feeder pole"),
+    },
+    "Tools & Home Improvement": {
+        "product_types": (
+            "cordless drill", "screwdriver set", "stud finder", "utility knife",
+            "sharpening stone", "paint roller", "work gloves", "tape measure",
+            "circular saw", "tool box", "led shop light", "caulking gun",
+        ),
+        "functions": (
+            "sharpen scissors", "drill pilot holes", "find wall studs",
+            "measure lumber", "seal window gaps",
+        ),
+        "activities": (
+            "build a fence", "renovate the bathroom", "hang drywall",
+            "assemble furniture", "weekend diy projects",
+        ),
+        "audiences": ("diy enthusiasts", "contractors", "woodworkers"),
+        "locations": ("garage", "workshop", "basement"),
+        "times": ("weekend afternoons",),
+        "body_parts": ("hands",),
+        "interests": ("woodworking", "home improvement"),
+        "complements": ("drill bits", "saw blades", "roller covers"),
+    },
+    "Musical Instruments": {
+        "product_types": (
+            "acoustic guitar", "guitar strings", "keyboard stand", "microphone",
+            "drum sticks", "violin bow", "ukulele", "guitar tuner",
+            "audio interface", "music stand", "capo", "metronome",
+        ),
+        "functions": (
+            "keep the guitar in tune", "hold sheet music", "record vocals",
+            "practice quietly",
+        ),
+        "activities": (
+            "play at a wedding party", "practice scales", "record a demo",
+            "busking downtown", "join a band",
+        ),
+        "audiences": ("beginner guitarists", "music teachers", "street performers"),
+        "locations": ("home studio", "rehearsal room"),
+        "times": ("evening practice",),
+        "body_parts": ("fingers",),
+        "interests": ("songwriting", "live music"),
+        "complements": ("guitar picks", "mic cable", "stand bag"),
+    },
+    "Industrial & Scientific": {
+        "product_types": (
+            "digital caliper", "safety goggles", "nitrile gloves", "ball bearing",
+            "shelving rack", "label printer", "torque wrench", "ph meter",
+            "vacuum pump", "heat gun", "load strap", "filter cartridge",
+        ),
+        "functions": (
+            "hold a lot of weight", "measure within tolerance",
+            "protect eyes from debris", "keep samples sterile",
+        ),
+        "activities": (
+            "calibrate lab equipment", "organize a warehouse",
+            "run quality inspections", "maintain machinery",
+        ),
+        "audiences": ("lab technicians", "warehouse managers", "machinists"),
+        "locations": ("laboratory", "warehouse", "factory floor"),
+        "times": ("maintenance windows",),
+        "body_parts": ("eyes", "hands"),
+        "interests": ("precision measurement",),
+        "complements": ("replacement tips", "calibration weights", "rack shelves"),
+    },
+    "Automotive": {
+        "product_types": (
+            "car jack", "socket wrench", "motor oil", "wiper blades",
+            "tire inflator", "jumper cables", "seat cover", "floor mats",
+            "obd scanner", "car wax", "trailer hitch", "shovel",
+        ),
+        "functions": (
+            "dig a hole", "lift the car safely", "restore the paint shine",
+            "read engine codes", "keep tires at pressure",
+        ),
+        "activities": (
+            "change the oil at home", "detail the car", "road trips",
+            "tow a small trailer", "winterize the car",
+        ),
+        "audiences": ("car owners", "mechanics", "off road drivers"),
+        "locations": ("garage", "driveway"),
+        "times": ("late winter", "before road trips"),
+        "body_parts": ("hands",),
+        "interests": ("car maintenance",),
+        "complements": ("oil filter", "socket extensions", "wax applicator"),
+    },
+    "Electronics": {
+        "product_types": (
+            "camera case", "screen protector glass", "usb hub", "wireless mouse",
+            "bluetooth speaker", "hdmi cable", "power bank", "webcam",
+            "smart watch", "noise cancelling headphones", "router", "tripod",
+        ),
+        "functions": (
+            "provide protection for camera", "extend battery life",
+            "stabilize video shots", "track calories burned",
+            "block out airplane noise",
+        ),
+        "activities": (
+            "work from home", "travel photography", "video conferencing",
+            "stream music outdoors", "monitor workouts",
+        ),
+        "audiences": ("photographers", "remote workers", "commuters"),
+        "locations": ("home office", "airplane"),
+        "times": ("during commutes",),
+        "body_parts": ("ears", "wrist"),
+        "interests": ("photography", "smart home tech"),
+        "complements": ("lens cloth", "cable organizer", "watch band"),
+    },
+    "Baby Products": {
+        "product_types": (
+            "baby monitor", "diaper bag", "bottle warmer", "crib sheet",
+            "baby socks", "pacifier clip", "high chair", "stroller organizer",
+            "nursing pillow", "baby bathtub", "teething ring", "swaddle blanket",
+        ),
+        "functions": (
+            "keep the baby's feet dry", "soothe sore gums",
+            "warm milk evenly", "hear the baby from another room",
+        ),
+        "activities": (
+            "prepare the nursery", "travel with an infant", "night feedings",
+            "bath time",
+        ),
+        "audiences": ("new parents", "pregnant women", "daycare workers"),
+        "locations": ("nursery", "daycare"),
+        "times": ("night time", "first months"),
+        "body_parts": ("gums", "sensitive skin"),
+        "interests": ("parenting",),
+        "complements": ("monitor mount", "bottle brush", "crib mattress pad"),
+    },
+    "Arts, Crafts & Sewing": {
+        "product_types": (
+            "sewing machine needles", "fabric scissors", "embroidery hoop",
+            "acrylic paint set", "rubber stamps", "glue gun", "knitting needles",
+            "canvas panels", "washi tape", "bead assortment", "quilting ruler",
+            "yarn skein",
+        ),
+        "functions": (
+            "stamp on fabric", "cut through denim", "hold fabric taut",
+            "blend colors smoothly",
+        ),
+        "activities": (
+            "quilt a blanket", "scrapbooking", "knit a sweater",
+            "paint landscapes", "handmade gifts",
+        ),
+        "audiences": ("quilters", "scrapbookers", "art students"),
+        "locations": ("craft room", "studio"),
+        "times": ("holiday season",),
+        "body_parts": ("hands",),
+        "interests": ("crafting", "diy gifts"),
+        "complements": ("bobbins", "paint brushes", "stamp ink pads"),
+    },
+    "Health & Household": {
+        "product_types": (
+            "facial cleanser", "vitamin gummies", "hand sanitizer", "towel set",
+            "digital thermometer", "laundry detergent", "moisturizing cream",
+            "first aid kit", "air purifier filter", "bath towel", "sunscreen",
+            "herbal tea",
+        ),
+        "functions": (
+            "dry face", "hydrate the skin", "support the immune system",
+            "remove tough stains", "filter indoor air",
+        ),
+        "activities": (
+            "morning skincare routine", "cold and flu season prep",
+            "deep clean the house", "wind down before bed",
+        ),
+        "audiences": ("people with sensitive skin", "allergy sufferers", "busy parents"),
+        "locations": ("bathroom", "laundry room"),
+        "times": ("flu season", "every morning"),
+        "body_parts": ("sensitive skin", "face", "hands"),
+        "interests": ("herbal medicine", "wellness"),
+        "complements": ("cotton pads", "pill organizer", "towel hooks"),
+    },
+    "Toys & Games": {
+        "product_types": (
+            "building blocks", "board game", "stuffed animal", "puzzle set",
+            "toy kite", "remote control car", "play dough", "card game",
+            "dollhouse", "water gun", "train set", "foam darts",
+        ),
+        "functions": (
+            "fly in the air", "develop fine motor skills",
+            "keep kids busy on rainy days", "spark imaginative play",
+        ),
+        "activities": (
+            "family game night", "birthday parties", "backyard play",
+            "road trip entertainment",
+        ),
+        "audiences": ("toddlers", "board game fans", "grandparents"),
+        "locations": ("playroom", "backyard"),
+        "times": ("rainy days", "holiday season"),
+        "body_parts": (),
+        "interests": ("strategy games", "collecting"),
+        "complements": ("extra darts", "puzzle mat", "battery pack"),
+    },
+    "Video Games": {
+        "product_types": (
+            "gaming headset", "controller grip", "headset stand", "gaming mouse pad",
+            "console skin", "charging dock", "capture card", "gaming chair cushion",
+            "thumbstick caps", "link cable", "memory card", "vr lens cover",
+        ),
+        "functions": (
+            "protect the headset", "charge two controllers at once",
+            "reduce hand fatigue", "record gameplay",
+        ),
+        "activities": (
+            "late night gaming sessions", "streaming on weekends",
+            "competitive ranked play", "couch co op",
+        ),
+        "audiences": ("streamers", "competitive gamers", "casual players"),
+        "locations": ("gaming desk", "living room"),
+        "times": ("weekend evenings",),
+        "body_parts": ("wrists", "ears"),
+        "interests": ("esports", "speedrunning"),
+        "complements": ("headset cable", "dock adapter", "mouse feet"),
+    },
+    "Grocery & Gourmet Food": {
+        "product_types": (
+            "olive oil", "potato chips", "herbal tea", "coffee beans",
+            "pasta sauce", "protein bars", "hot sauce", "trail mix",
+            "baking flour", "maple syrup", "rice crackers", "dark chocolate",
+        ),
+        "functions": (
+            "make potato chips", "add smoky flavor", "quick energy between meals",
+            "brew a strong morning cup",
+        ),
+        "activities": (
+            "weeknight dinners", "afternoon snacking", "weekend baking",
+            "hosting brunch", "meal prep",
+        ),
+        "audiences": ("home bakers", "coffee lovers", "busy professionals"),
+        "locations": ("pantry", "office desk"),
+        "times": ("breakfast", "late afternoon"),
+        "body_parts": (),
+        "interests": ("gourmet cooking", "healthy snacking"),
+        "complements": ("oil dispenser", "tea infuser", "coffee filters"),
+    },
+    "Office Products": {
+        "product_types": (
+            "gel pens", "sticky notes", "desk organizer", "notebook",
+            "stapler", "file folders", "whiteboard", "paper shredder",
+            "desk lamp", "binder clips", "printer paper", "planner",
+        ),
+        "functions": (
+            "write down important information", "keep the desk tidy",
+            "shred sensitive documents", "plan the week ahead",
+        ),
+        "activities": (
+            "take meeting notes", "organize tax paperwork", "study for exams",
+            "brainstorm on the whiteboard",
+        ),
+        "audiences": ("students", "accountants", "teachers"),
+        "locations": ("home office", "classroom"),
+        "times": ("tax season", "back to school"),
+        "body_parts": ("hands",),
+        "interests": ("stationery", "productivity"),
+        "complements": ("pen refills", "staples", "dry erase markers"),
+    },
+    "Pet Supplies": {
+        "product_types": (
+            "dog leash", "cat litter", "pet carrier", "dog treats",
+            "scratching post", "aquarium filter", "pet grooming brush",
+            "dog bed", "cat toys", "poop bags", "bird cage", "flea collar",
+        ),
+        "functions": (
+            "walk the dog", "keep claws off the couch", "remove loose fur",
+            "keep the tank water clear",
+        ),
+        "activities": (
+            "daily dog walks", "vet visits", "weekend trips with pets",
+            "training a puppy",
+        ),
+        "audiences": ("dog owners", "cat owners", "aquarium hobbyists"),
+        "locations": ("dog park", "living room"),
+        "times": ("every morning", "shedding season"),
+        "body_parts": (),
+        "interests": ("pet training",),
+        "complements": ("leash clip", "litter scoop", "brush refills"),
+    },
+    "Others": {
+        "product_types": (
+            "fitness tracker", "luggage tag", "travel pillow", "umbrella",
+            "key organizer", "reusable bags", "book light", "picnic blanket",
+            "car phone mount", "gift wrap", "water flosser", "door mat",
+        ),
+        "functions": (
+            "track calories burned", "keep keys organized", "read at night",
+            "stay dry in the rain",
+        ),
+        "activities": (
+            "international travel", "daily commute", "picnics in the park",
+            "gift wrapping",
+        ),
+        "audiences": ("frequent travelers", "commuters", "book lovers"),
+        "locations": ("airport", "park"),
+        "times": ("rainy season", "holiday season"),
+        "body_parts": ("neck", "teeth"),
+        "interests": ("travel", "reading"),
+        "complements": ("tracker band", "pillow cover", "bag clips"),
+    },
+}

@@ -1,0 +1,118 @@
+"""Command-line interface: run the pipeline and export the KG.
+
+Usage::
+
+    python -m repro.cli build-kg --seed 7 --scale 0.5 --out kg.jsonl
+    python -m repro.cli inspect-kg kg.jsonl
+    python -m repro.cli generate --seed 7 --query "winter camping essentials" \
+        --product-type "camping tent" --domain "Sports & Outdoors"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.behavior import WorldConfig
+from repro.core import CosmoLMConfig, CosmoPipeline, PipelineConfig
+from repro.core.kg_io import load_kg, save_kg
+from repro.reporting import Table, format_percent
+
+
+def _pipeline_config(seed: int, scale: float, lm_epochs: int) -> PipelineConfig:
+    world = WorldConfig(seed=seed).scaled(scale)
+    return PipelineConfig(
+        seed=seed,
+        world=world,
+        cobuy_pairs_per_domain=max(10, int(120 * scale)),
+        searchbuy_records_per_domain=max(10, int(150 * scale)),
+        annotation_budget=max(100, int(1500 * scale)),
+        lm=CosmoLMConfig(epochs=lm_epochs),
+    )
+
+
+def cmd_build_kg(args: argparse.Namespace) -> int:
+    config = _pipeline_config(args.seed, args.scale, args.lm_epochs)
+    print(f"Building the COSMO KG (seed={args.seed}, scale={args.scale})...")
+    result = CosmoPipeline(config).run()
+    stats = result.kg.stats()
+    print(f"KG: {stats.nodes} nodes, {stats.edges} edges, "
+          f"{stats.relations} relations, {stats.domains} domains")
+    table = Table("Annotated quality", ["Behavior", "Plausibility", "Typicality"])
+    for behavior, ratios in sorted(result.quality_ratios.items()):
+        table.add_row(behavior, format_percent(ratios["plausibility"]),
+                      format_percent(ratios["typicality"]))
+    print(table.render())
+    if args.out:
+        written = save_kg(result.kg, args.out)
+        print(f"Wrote {written} edges to {args.out}")
+    return 0
+
+
+def cmd_inspect_kg(args: argparse.Namespace) -> int:
+    kg = load_kg(args.path)
+    stats = kg.stats()
+    print(f"{args.path}: {stats.nodes} nodes, {stats.edges} edges, "
+          f"{stats.relations} relations, {stats.domains} domains")
+    table = Table("Edges per domain", ["Domain", "co-buy", "search-buy"])
+    domains = sorted({t.domain for t in kg.triples()})
+    for domain in domains:
+        table.add_row(domain, kg.edges_for(domain, "co-buy"),
+                      kg.edges_for(domain, "search-buy"))
+    print(table.render())
+    for triple in kg.triples()[: args.sample]:
+        print(f"  {triple.head.split(' ||| ')[0]!r} --{triple.relation.value}--> {triple.tail!r}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = _pipeline_config(args.seed, args.scale, args.lm_epochs)
+    print("Training COSMO-LM (one pipeline run)...")
+    result = CosmoPipeline(config).run()
+    lm = result.cosmo_lm
+    prompt = lm.searchbuy_prompt(args.query, args.product_title or args.product_type,
+                                 args.domain, product_type=args.product_type)
+    generation = lm.generate_knowledge([prompt])[0]
+    print(f"query:     {args.query!r}")
+    print(f"product:   {args.product_type!r} ({args.domain})")
+    print(f"knowledge: {generation.text!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build-kg", help="run the pipeline and export the KG")
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument("--scale", type=float, default=0.5,
+                       help="world/sampling scale factor (1.0 = default sizes)")
+    build.add_argument("--lm-epochs", type=int, default=10)
+    build.add_argument("--out", type=str, default="",
+                       help="write the KG to this JSONL path")
+    build.set_defaults(func=cmd_build_kg)
+
+    inspect = sub.add_parser("inspect-kg", help="summarize an exported KG")
+    inspect.add_argument("path")
+    inspect.add_argument("--sample", type=int, default=5)
+    inspect.set_defaults(func=cmd_inspect_kg)
+
+    generate = sub.add_parser("generate", help="generate knowledge for one behavior")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--scale", type=float, default=0.4)
+    generate.add_argument("--lm-epochs", type=int, default=10)
+    generate.add_argument("--query", required=True)
+    generate.add_argument("--product-type", required=True)
+    generate.add_argument("--product-title", default="")
+    generate.add_argument("--domain", required=True)
+    generate.set_defaults(func=cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""The COSMO knowledge graph container (Tables 1 & 3, Figure 8).
+
+Stores refined :class:`~repro.core.triples.KnowledgeTriple` edges with
+per-domain / per-behavior statistics matching the Table 3 layout, overall
+node/edge/relation counts for the Table 1 comparison, and a tail-
+hierarchy builder reproducing the Figure 8 organization (coarse intent →
+refined intents → linked product concepts).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.relations import Relation
+from repro.core.triples import KnowledgeTriple
+
+__all__ = ["KGStats", "HierarchyNode", "KnowledgeGraph"]
+
+
+@dataclass(frozen=True)
+class KGStats:
+    """Table 1-style aggregate statistics."""
+
+    nodes: int
+    edges: int
+    relations: int
+    domains: int
+
+
+@dataclass
+class HierarchyNode:
+    """One node of the Figure 8 intent hierarchy."""
+
+    label: str
+    children: list["HierarchyNode"] = field(default_factory=list)
+    product_concepts: list[str] = field(default_factory=list)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+
+class KnowledgeGraph:
+    """Deduplicating triple store with stats and hierarchy views."""
+
+    def __init__(self):
+        self._triples: dict[tuple[str, str, str], KnowledgeTriple] = {}
+        # (domain, behavior) → edge count, for the Table 3 breakdown.
+        self._domain_behavior_edges: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def add(self, triple: KnowledgeTriple) -> None:
+        """Insert a triple, merging support for duplicates."""
+        existing = self._triples.get(triple.key)
+        if existing is None:
+            self._triples[triple.key] = triple
+        else:
+            merged = KnowledgeTriple(
+                head=existing.head,
+                relation=existing.relation,
+                tail=existing.tail,
+                domain=existing.domain,
+                behavior=existing.behavior,
+                plausibility=max(existing.plausibility, triple.plausibility),
+                typicality=max(existing.typicality, triple.typicality),
+                support=existing.support + triple.support,
+                head_ids=existing.head_ids,
+            )
+            self._triples[triple.key] = merged
+            return
+        self._domain_behavior_edges[(triple.domain, triple.behavior)] += 1
+
+    def extend(self, triples: list[KnowledgeTriple]) -> None:
+        for triple in triples:
+            self.add(triple)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def triples(self) -> list[KnowledgeTriple]:
+        return list(self._triples.values())
+
+    def tails(self) -> list[str]:
+        return sorted({t.tail for t in self._triples.values()})
+
+    def by_relation(self, relation: Relation) -> list[KnowledgeTriple]:
+        return [t for t in self._triples.values() if t.relation == relation]
+
+    def for_domain(self, domain: str) -> list[KnowledgeTriple]:
+        return [t for t in self._triples.values() if t.domain == domain]
+
+    def edges_for(self, domain: str, behavior: str) -> int:
+        """Table 3 cell: refined edge count per (domain, behavior)."""
+        return self._domain_behavior_edges[(domain, behavior)]
+
+    def stats(self) -> KGStats:
+        """Table 1 aggregates."""
+        heads = {t.head for t in self._triples.values()}
+        tails = {t.tail for t in self._triples.values()}
+        relations = {t.relation for t in self._triples.values()}
+        domains = {t.domain for t in self._triples.values()}
+        return KGStats(
+            nodes=len(heads | tails),
+            edges=len(self._triples),
+            relations=len(relations),
+            domains=len(domains),
+        )
+
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export as a labeled multigraph for downstream analysis."""
+        graph = nx.MultiDiGraph()
+        for triple in self._triples.values():
+            graph.add_node(triple.head, kind="head")
+            graph.add_node(triple.tail, kind="tail")
+            graph.add_edge(
+                triple.head,
+                triple.tail,
+                relation=triple.relation.value,
+                domain=triple.domain,
+                behavior=triple.behavior,
+                plausibility=triple.plausibility,
+                typicality=triple.typicality,
+                support=triple.support,
+            )
+        return graph
+
+    # ------------------------------------------------------------------
+    def tail_hierarchy(self, domain: str | None = None) -> list[HierarchyNode]:
+        """Organize tails into the Figure 8 coarse→fine hierarchy.
+
+        A tail B is a child of tail A when B = "<modifier> A" (e.g.
+        "winter camping" under "camping").  Each node also links the
+        product concepts (head product types mentioned in heads) its
+        edges connect to.
+        """
+        triples = self.triples() if domain is None else self.for_domain(domain)
+        tails = {t.tail for t in triples}
+        children_map: dict[str, list[str]] = defaultdict(list)
+        roots: list[str] = []
+        for tail in sorted(tails):
+            parts = tail.split(" ", 1)
+            parent = parts[1] if len(parts) == 2 and parts[1] in tails else None
+            if parent is not None:
+                children_map[parent].append(tail)
+            else:
+                roots.append(tail)
+
+        tail_concepts: dict[str, set[str]] = defaultdict(set)
+        for triple in triples:
+            # Heads are "query" or "title_a ||| title_b"; the last two
+            # title words approximate the product concept/type.
+            for head_part in triple.head.split(" ||| "):
+                words = head_part.split()
+                if len(words) >= 2:
+                    tail_concepts[triple.tail].add(" ".join(words[-2:]))
+
+        def build(label: str) -> HierarchyNode:
+            return HierarchyNode(
+                label=label,
+                children=[build(child) for child in sorted(children_map.get(label, []))],
+                product_concepts=sorted(tail_concepts.get(label, set()))[:8],
+            )
+
+        return [build(root) for root in roots]

@@ -1,0 +1,94 @@
+"""Knowledge-graph persistence: JSON Lines serialization.
+
+The production system materializes the KG for downstream consumers; this
+module provides the equivalent dump/load so a built graph can be shipped
+without re-running the pipeline.  One JSON object per line keeps files
+streamable and diff-friendly at millions of edges.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.kg import KnowledgeGraph
+from repro.core.relations import Relation
+from repro.core.triples import KnowledgeTriple
+
+__all__ = ["save_kg", "load_kg", "triple_to_record", "record_to_triple"]
+
+_FORMAT_VERSION = 1
+
+
+def triple_to_record(triple: KnowledgeTriple) -> dict:
+    """A JSON-serializable record for one triple."""
+    return {
+        "head": triple.head,
+        "relation": triple.relation.value,
+        "tail": triple.tail,
+        "domain": triple.domain,
+        "behavior": triple.behavior,
+        "plausibility": round(triple.plausibility, 6),
+        "typicality": round(triple.typicality, 6),
+        "support": triple.support,
+        "head_ids": list(triple.head_ids),
+    }
+
+
+def record_to_triple(record: dict) -> KnowledgeTriple:
+    """Inverse of :func:`triple_to_record` (validates the relation)."""
+    return KnowledgeTriple(
+        head=record["head"],
+        relation=Relation(record["relation"]),
+        tail=record["tail"],
+        domain=record["domain"],
+        behavior=record["behavior"],
+        plausibility=float(record["plausibility"]),
+        typicality=float(record["typicality"]),
+        support=int(record.get("support", 1)),
+        head_ids=tuple(record.get("head_ids", ())),
+    )
+
+
+def save_kg(kg: KnowledgeGraph, path: str | pathlib.Path) -> int:
+    """Write the KG as JSON Lines; returns the number of edges written.
+
+    The first line is a header with the format version and edge count so
+    loaders can validate before streaming.
+    """
+    path = pathlib.Path(path)
+    triples = kg.triples()
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"format": "cosmo-kg", "version": _FORMAT_VERSION, "edges": len(triples)}
+        handle.write(json.dumps(header) + "\n")
+        for triple in triples:
+            handle.write(json.dumps(triple_to_record(triple)) + "\n")
+    return len(triples)
+
+
+def load_kg(path: str | pathlib.Path) -> KnowledgeGraph:
+    """Load a KG previously written by :func:`save_kg`."""
+    path = pathlib.Path(path)
+    kg = KnowledgeGraph()
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty KG file")
+        header = json.loads(header_line)
+        if header.get("format") != "cosmo-kg":
+            raise ValueError(f"{path}: not a cosmo-kg file")
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported version {header.get('version')} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        expected = header.get("edges")
+        count = 0
+        for line in handle:
+            if not line.strip():
+                continue
+            kg.add(record_to_triple(json.loads(line)))
+            count += 1
+    if expected is not None and count != expected:
+        raise ValueError(f"{path}: header promises {expected} edges, found {count}")
+    return kg

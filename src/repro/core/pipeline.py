@@ -1,0 +1,276 @@
+"""End-to-end COSMO pipeline orchestration (Figure 2).
+
+``CosmoPipeline.run()`` executes the paper's offline knowledge-generation
+flow: simulate behaviors → sample representative pairs → harvest teacher
+candidates → refine → annotation sampling (Eq. 2) → human-in-the-loop
+annotation → critic training → instruction-data construction → COSMO-LM
+finetuning → KG assembly with COSMO-LM expansion.  The returned
+:class:`PipelineResult` carries every intermediate artifact the
+evaluation benches need (Table 3/4 statistics, critic accuracy, latency
+accounting, the KG itself).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.annotation.annotators import AnnotatorPool
+from repro.annotation.audit import AuditReport, audit_annotations
+from repro.annotation.schema import AnnotationResult
+from repro.behavior.cobuy import CoBuyLog, simulate_cobuy
+from repro.behavior.searchbuy import SearchBuyLog, simulate_searchbuy
+from repro.behavior.world import World, WorldConfig
+from repro.core.annotation_sampling import sample_for_annotation
+from repro.core.cosmo_lm import CosmoLM, CosmoLMConfig
+from repro.core.critic import CriticClassifier, CriticConfig
+from repro.core.filtering import FilterConfig, FilterReport, KnowledgeFilter
+from repro.core.generation import generate_candidates
+from repro.core.instructions import InstructionDataset, build_instruction_dataset
+from repro.core.kg import KnowledgeGraph
+from repro.core.relations import parse_predicate
+from repro.core.sampling import SamplingConfig, sample_cobuy, sample_products, sample_searchbuy
+from repro.core.triples import BehaviorSample, KnowledgeCandidate, KnowledgeTriple
+from repro.embeddings.encoder import TextEncoder
+from repro.llm.interface import LatencyModel
+from repro.llm.teacher import TeacherLLM
+
+__all__ = ["PipelineConfig", "PipelineResult", "CosmoPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All scale and hyperparameter knobs for one pipeline run."""
+
+    seed: int = 0
+    world: WorldConfig = field(default_factory=WorldConfig)
+    cobuy_pairs_per_domain: int = 120
+    searchbuy_records_per_domain: int = 150
+    candidates_per_sample: int = 3
+    annotation_budget: int = 600  # split evenly across the two behaviors
+    uniform_annotation_sampling: bool = False
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    filter: FilterConfig = field(default_factory=FilterConfig)
+    critic: CriticConfig = field(default_factory=CriticConfig)
+    lm: CosmoLMConfig = field(default_factory=CosmoLMConfig)
+    finetune_lm: bool = True
+    expand_with_lm: bool = True
+
+
+@dataclass
+class PipelineResult:
+    """Every artifact of one pipeline run."""
+
+    config: PipelineConfig
+    world: World
+    cobuy: CoBuyLog
+    searchbuy: SearchBuyLog
+    samples: list[BehaviorSample]
+    candidates: list[KnowledgeCandidate]
+    filter_report: FilterReport
+    filtered: list[KnowledgeCandidate]
+    annotated_candidates: list[KnowledgeCandidate]
+    annotations: list[AnnotationResult]
+    audit: AuditReport
+    quality_ratios: dict[str, dict[str, float]]
+    critic: CriticClassifier
+    critic_accuracy: dict[str, float]
+    instruction_dataset: InstructionDataset
+    cosmo_lm: CosmoLM | None
+    kg: KnowledgeGraph
+    teacher_latency: LatencyModel
+    lm_latency: LatencyModel
+
+    # Table 3 bookkeeping --------------------------------------------------
+    def behavior_pair_counts(self) -> Counter:
+        """(domain, behavior) → sampled behavior pairs."""
+        return Counter((s.domain, s.behavior) for s in self.samples)
+
+    def annotation_counts(self) -> Counter:
+        """(domain, behavior) → annotated candidates."""
+        return Counter(
+            (c.sample.domain, c.sample.behavior) for c in self.annotated_candidates
+        )
+
+
+class CosmoPipeline:
+    """Drives the full offline knowledge-generation flow."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+
+    # ------------------------------------------------------------------
+    def run(self) -> PipelineResult:
+        cfg = self.config
+        world = World(cfg.world)
+        teacher_latency = LatencyModel()
+        lm_latency = LatencyModel()
+
+        # 1. Behavior simulation (the raw logs).
+        cobuy = simulate_cobuy(world, pairs_per_domain=cfg.cobuy_pairs_per_domain, seed=cfg.seed)
+        searchbuy = simulate_searchbuy(
+            world, records_per_domain=cfg.searchbuy_records_per_domain, seed=cfg.seed
+        )
+
+        # 2. Representative behavior sampling (§3.2.1).
+        selected = sample_products(world, cobuy, searchbuy, cfg.sampling.top_product_fraction)
+        samples = sample_cobuy(world, cobuy, selected, cfg.sampling)
+        samples += sample_searchbuy(world, searchbuy, cfg.sampling)
+
+        # 3. Teacher harvesting (§3.2.2).
+        teacher = TeacherLLM(world, latency=teacher_latency, seed=cfg.seed)
+        candidates = generate_candidates(
+            world,
+            teacher,
+            samples,
+            candidates_per_sample=cfg.candidates_per_sample,
+            seed=cfg.seed,
+        )
+
+        # 4. Refinement (§3.3.1).
+        encoder = TextEncoder(seed=cfg.seed)
+        knowledge_filter = KnowledgeFilter(encoder, config=cfg.filter)
+        filtered, filter_report = knowledge_filter.apply(candidates)
+
+        # 5. Annotation sampling (Eq. 2) + human-in-the-loop labeling.
+        per_behavior_budget = cfg.annotation_budget // 2
+        annotated_candidates: list[KnowledgeCandidate] = []
+        for behavior in ("co-buy", "search-buy"):
+            pool = [c for c in filtered if c.sample.behavior == behavior]
+            annotated_candidates += sample_for_annotation(
+                pool,
+                cobuy,
+                searchbuy,
+                budget=per_behavior_budget,
+                uniform=cfg.uniform_annotation_sampling,
+                seed=cfg.seed,
+            )
+        annotators = AnnotatorPool(seed=cfg.seed)
+        annotations = annotators.annotate_batch(
+            [(c.candidate_id, c.truth.quality) for c in annotated_candidates]
+        )
+        qualities = {c.candidate_id: c.truth.quality for c in annotated_candidates}
+        audit = audit_annotations(annotations, qualities, seed=cfg.seed)
+        quality_ratios = self._quality_ratios(annotated_candidates, annotations)
+
+        # 6. Critic training and population (§3.3.2).
+        critic = CriticClassifier(encoder, config=cfg.critic, seed=cfg.seed)
+        split = max(1, int(len(annotated_candidates) * 0.85))
+        critic.fit(annotated_candidates[:split], annotations[:split])
+        if split < len(annotated_candidates):
+            critic_accuracy = critic.accuracy(
+                annotated_candidates[split:], annotations[split:]
+            )
+        else:
+            critic_accuracy = {"plausibility": float("nan"), "typicality": float("nan")}
+        refined = critic.populate(filtered)
+
+        # 7. Instruction data (§3.4) and COSMO-LM finetuning.
+        instruction_dataset = build_instruction_dataset(
+            world, annotated_candidates, annotations, seed=cfg.seed
+        )
+        cosmo_lm: CosmoLM | None = None
+        if cfg.finetune_lm and len(instruction_dataset):
+            cosmo_lm = CosmoLM(config=cfg.lm, seed=cfg.seed, latency=lm_latency)
+            cosmo_lm.finetune(instruction_dataset)
+
+        # 8. KG assembly: refined teacher knowledge + COSMO-LM expansion.
+        kg = KnowledgeGraph()
+        kg.extend([self._to_triple(c) for c in refined])
+        if cosmo_lm is not None and cfg.expand_with_lm:
+            kg.extend(self._expand(world, cosmo_lm, critic, samples))
+
+        return PipelineResult(
+            config=cfg,
+            world=world,
+            cobuy=cobuy,
+            searchbuy=searchbuy,
+            samples=samples,
+            candidates=candidates,
+            filter_report=filter_report,
+            filtered=filtered,
+            annotated_candidates=annotated_candidates,
+            annotations=annotations,
+            audit=audit,
+            quality_ratios=quality_ratios,
+            critic=critic,
+            critic_accuracy=critic_accuracy,
+            instruction_dataset=instruction_dataset,
+            cosmo_lm=cosmo_lm,
+            kg=kg,
+            teacher_latency=teacher_latency,
+            lm_latency=lm_latency,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _quality_ratios(
+        candidates: list[KnowledgeCandidate],
+        annotations: list[AnnotationResult],
+    ) -> dict[str, dict[str, float]]:
+        """Table 4: plausibility/typicality ratios per behavior."""
+        totals: Counter = Counter()
+        plausible: Counter = Counter()
+        typical: Counter = Counter()
+        for candidate, annotation in zip(candidates, annotations):
+            behavior = candidate.sample.behavior
+            totals[behavior] += 1
+            plausible[behavior] += int(annotation.plausible)
+            typical[behavior] += int(annotation.typical)
+        return {
+            behavior: {
+                "plausibility": plausible[behavior] / totals[behavior],
+                "typicality": typical[behavior] / totals[behavior],
+            }
+            for behavior in totals
+        }
+
+    @staticmethod
+    def _to_triple(candidate: KnowledgeCandidate) -> KnowledgeTriple:
+        return KnowledgeTriple(
+            head=candidate.sample.head_text,
+            relation=candidate.relation,
+            tail=candidate.tail,
+            domain=candidate.sample.domain,
+            behavior=candidate.sample.behavior,
+            plausibility=candidate.plausibility_score or 0.0,
+            typicality=candidate.typicality_score or 0.0,
+            support=1,
+            head_ids=candidate.sample.product_ids,
+        )
+
+    def _expand(
+        self,
+        world: World,
+        cosmo_lm: CosmoLM,
+        critic: CriticClassifier,
+        samples: list[BehaviorSample],
+        chunk: int = 64,
+    ) -> list[KnowledgeTriple]:
+        """COSMO-LM expansion: generate knowledge for every sampled
+        behavior, score with the critic, keep the plausible edges."""
+        triples: list[KnowledgeTriple] = []
+        for start in range(0, len(samples), chunk):
+            batch = samples[start : start + chunk]
+            prompts = [cosmo_lm.prompt_for_sample(world, s) for s in batch]
+            generations = cosmo_lm.generate_knowledge(prompts)
+            candidates = []
+            keep_samples = []
+            for sample, generation in zip(batch, generations):
+                parsed = parse_predicate(generation.text)
+                if parsed is None:
+                    continue
+                relation, tail = parsed
+                candidates.append(
+                    KnowledgeCandidate(
+                        candidate_id=f"lm-{sample.sample_id}",
+                        sample=sample,
+                        text=generation.text,
+                        relation=relation,
+                        tail=tail,
+                    )
+                )
+                keep_samples.append(sample)
+            kept = critic.populate(candidates)
+            triples.extend(self._to_triple(c) for c in kept)
+        return triples

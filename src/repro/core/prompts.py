@@ -1,0 +1,113 @@
+"""QA-style prompt construction (§3.2.2, Figure 3).
+
+User behaviors are verbalized as question-answering contexts — a task
+description, the behavior's texts, a relation-specific question, and a
+partial answer ending in "because" plus the list marker "1." trick — the
+format the paper found LLMs follow most reliably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.relations import SEED_RELATIONS
+
+__all__ = ["BehaviorPrompt", "cobuy_prompt", "searchbuy_prompt"]
+
+# Relation-specific question suffixes appended to the base question.
+_SEED_QUESTIONS: dict[str, str] = {
+    "usedFor": "What can the product be used for?",
+    "capableOf": "What is the product capable of?",
+    "isA": "What type of product is it?",
+    "cause": "What does the customer want or need?",
+}
+
+
+@dataclass(frozen=True)
+class BehaviorPrompt:
+    """A structured prompt plus the provenance needed downstream.
+
+    ``product_ids`` preserves the behavior's head products (one for
+    search-buy, two for co-buy); ``intent_id`` is the simulator's hidden
+    ground truth forwarded to the teacher's oracle channel (None for
+    noise behaviors).
+    """
+
+    behavior: str  # "co-buy" | "search-buy"
+    domain: str
+    head_text: str  # "query ||| title" or "title_a ||| title_b"
+    product_ids: tuple[str, ...]
+    query_id: str | None
+    seed_relation: str | None
+    intent_id: str | None
+    prompt_text: str
+
+    def render(self) -> str:
+        return self.prompt_text
+
+
+def _question(seed_relation: str | None) -> str:
+    if seed_relation is None:
+        return "Why did the customer make this purchase?"
+    if seed_relation not in SEED_RELATIONS:
+        raise ValueError(f"unknown seed relation {seed_relation!r}; valid: {SEED_RELATIONS}")
+    return _SEED_QUESTIONS[seed_relation]
+
+
+def cobuy_prompt(
+    title_a: str,
+    title_b: str,
+    domain: str,
+    product_ids: tuple[str, str],
+    seed_relation: str | None = None,
+    intent_id: str | None = None,
+) -> BehaviorPrompt:
+    """Figure 3-style prompt for a co-purchase pair."""
+    text = (
+        "The following two products were purchased together on an online "
+        f"shopping website, in the {domain} category.\n"
+        f"Product 1: {title_a}\n"
+        f"Product 2: {title_b}\n"
+        f"Question: {_question(seed_relation)}\n"
+        "Answer: The customer bought them together because\n1."
+    )
+    return BehaviorPrompt(
+        behavior="co-buy",
+        domain=domain,
+        head_text=f"{title_a} ||| {title_b}",
+        product_ids=product_ids,
+        query_id=None,
+        seed_relation=seed_relation,
+        intent_id=intent_id,
+        prompt_text=text,
+    )
+
+
+def searchbuy_prompt(
+    query_text: str,
+    title: str,
+    domain: str,
+    product_id: str,
+    query_id: str,
+    seed_relation: str | None = None,
+    intent_id: str | None = None,
+) -> BehaviorPrompt:
+    """Figure 3-style prompt for a search-buy pair."""
+    text = (
+        "The following search query caused the following product purchase "
+        f"on an online shopping website, in the {domain} category.\n"
+        f"Search query: {query_text}\n"
+        f"Product: {title}\n"
+        f"Question: {_question(seed_relation)}\n"
+        "Answer: The customer searched and bought it because\n1."
+    )
+    return BehaviorPrompt(
+        behavior="search-buy",
+        domain=domain,
+        head_text=f"{query_text} ||| {title}",
+        product_ids=(product_id,),
+        query_id=query_id,
+        seed_relation=seed_relation,
+        intent_id=intent_id,
+        prompt_text=text,
+    )

@@ -1,0 +1,154 @@
+"""The COSMO relation taxonomy (paper Table 2).
+
+Fifteen e-commerce commonsense relations, each with a *tail type*
+(function, activity, audience, ...), a natural-language predicate template
+used both for verbalizing knowledge and for parsing LLM generations, and
+the paper's running example.  The four *seed relations* (§3.1) are the
+generic ConceptNet-style relations the data-driven relation discovery
+starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "TailType",
+    "Relation",
+    "RELATION_SPECS",
+    "SEED_RELATIONS",
+    "relations_for_tail_type",
+    "verbalize",
+    "parse_predicate",
+]
+
+
+class TailType(str, Enum):
+    """What kind of phrase fills the tail slot (Table 2, middle column)."""
+
+    FUNCTION = "Function / Usage"
+    ACTIVITY = "Event / Activity"
+    AUDIENCE = "Audience"
+    CONCEPT = "Concept / Product Type"
+    TIME = "Time / Season / Event"
+    LOCATION = "Location / Facility"
+    BODY_PART = "Body Part"
+    COMPLEMENT = "Complementary"
+    INTEREST = "Interest"
+
+
+class Relation(str, Enum):
+    """The 15 mined COSMO relations (Table 2)."""
+
+    USED_FOR_FUNC = "USED_FOR_FUNC"
+    USED_FOR_EVE = "USED_FOR_EVE"
+    USED_FOR_AUD = "USED_FOR_AUD"
+    CAPABLE_OF = "CAPABLE_OF"
+    USED_TO = "USED_TO"
+    USED_AS = "USED_AS"
+    IS_A = "IS_A"
+    USED_ON = "USED_ON"
+    USED_IN_LOC = "USED_IN_LOC"
+    USED_IN_BODY = "USED_IN_BODY"
+    USED_WITH = "USED_WITH"
+    USED_BY = "USED_BY"
+    X_INTERESTED_IN = "xInterested_in"
+    X_IS_A = "xIs_A"
+    X_WANT = "xWant"
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """Static metadata for one relation."""
+
+    relation: Relation
+    tail_type: TailType
+    # Predicate template; "{}" is the tail slot.  Teacher generations and
+    # COSMO-LM outputs verbalize knowledge with this surface form.
+    template: str
+    # The paper's example tail for this relation (Table 2, right column).
+    example: str
+    # Which of the four seed relations this was mined from (§3.1).
+    seed: str
+
+
+RELATION_SPECS: dict[Relation, RelationSpec] = {
+    spec.relation: spec
+    for spec in (
+        RelationSpec(Relation.USED_FOR_FUNC, TailType.FUNCTION,
+                     "it is used for {}", "dry face", "usedFor"),
+        RelationSpec(Relation.USED_FOR_EVE, TailType.ACTIVITY,
+                     "it can be used when they {}", "walk the dog", "usedFor"),
+        RelationSpec(Relation.USED_FOR_AUD, TailType.AUDIENCE,
+                     "it is designed for {}", "daycare worker", "usedFor"),
+        RelationSpec(Relation.CAPABLE_OF, TailType.FUNCTION,
+                     "it is capable of {}", "hold snacks", "capableOf"),
+        RelationSpec(Relation.USED_TO, TailType.FUNCTION,
+                     "it is used to {}", "build a fence", "usedFor"),
+        RelationSpec(Relation.USED_AS, TailType.CONCEPT,
+                     "it is used as {}", "smart watch", "usedFor"),
+        RelationSpec(Relation.IS_A, TailType.CONCEPT,
+                     "it is a type of {}", "normal suit", "isA"),
+        RelationSpec(Relation.USED_ON, TailType.TIME,
+                     "it is used during {}", "late winter", "usedFor"),
+        RelationSpec(Relation.USED_IN_LOC, TailType.LOCATION,
+                     "it is used in the {}", "bedroom", "usedFor"),
+        RelationSpec(Relation.USED_IN_BODY, TailType.BODY_PART,
+                     "it is used on {}", "sensitive skin", "usedFor"),
+        RelationSpec(Relation.USED_WITH, TailType.COMPLEMENT,
+                     "it is used with {}", "surface cover", "usedFor"),
+        RelationSpec(Relation.USED_BY, TailType.AUDIENCE,
+                     "it is used by {}", "cat owner", "usedFor"),
+        RelationSpec(Relation.X_INTERESTED_IN, TailType.INTEREST,
+                     "the customer is interested in {}", "herbal medicine", "cause"),
+        RelationSpec(Relation.X_IS_A, TailType.AUDIENCE,
+                     "the customer is one of {}", "pregnant women", "cause"),
+        RelationSpec(Relation.X_WANT, TailType.ACTIVITY,
+                     "the customer wants to {}", "play tennis", "cause"),
+    )
+}
+
+# The four generic seed relations relation discovery starts from (§3.1).
+SEED_RELATIONS: tuple[str, ...] = ("usedFor", "capableOf", "isA", "cause")
+
+# Prefix → candidate relations, ordered longest-prefix-first for parsing.
+_PREFIXES: list[tuple[str, Relation]] = sorted(
+    (
+        (spec.template.split("{}")[0].strip(), spec.relation)
+        for spec in RELATION_SPECS.values()
+    ),
+    key=lambda item: -len(item[0]),
+)
+
+
+def relations_for_tail_type(tail_type: TailType) -> list[Relation]:
+    """All relations whose tail slot takes ``tail_type`` phrases."""
+    return [
+        spec.relation
+        for spec in RELATION_SPECS.values()
+        if spec.tail_type == tail_type
+    ]
+
+
+def verbalize(relation: Relation, tail: str) -> str:
+    """Render ``(relation, tail)`` as its natural-language predicate."""
+    return RELATION_SPECS[relation].template.format(tail)
+
+
+def parse_predicate(text: str) -> tuple[Relation, str] | None:
+    """Inverse of :func:`verbalize`: recover ``(relation, tail)`` from text.
+
+    Returns ``None`` when no relation template matches — the caller treats
+    such generations as unparseable noise.  Longest-prefix matching
+    disambiguates templates sharing a stem (e.g. ``used in the`` vs
+    ``used on``).
+    """
+    stripped = text.strip().rstrip(".").strip()
+    lowered = stripped.lower()
+    for prefix, relation in _PREFIXES:
+        if lowered.startswith(prefix):
+            tail = stripped[len(prefix):].strip()
+            if tail:
+                return relation, tail
+    return None

@@ -1,0 +1,73 @@
+"""Knowledge data model: candidates (pre-refinement) and triples (KG edges)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.relations import Relation
+from repro.llm.interface import GenerationTruth
+
+__all__ = ["BehaviorSample", "KnowledgeCandidate", "KnowledgeTriple"]
+
+
+@dataclass(frozen=True)
+class BehaviorSample:
+    """One sampled user behavior selected for knowledge generation (§3.2.1).
+
+    For co-buy: ``product_ids`` has two entries and ``query_id`` is None.
+    For search-buy: one product and the query.  ``intent_id`` is simulator
+    ground truth carried for the oracle; the pipeline never branches on it.
+    """
+
+    sample_id: str
+    behavior: str  # "co-buy" | "search-buy"
+    domain: str
+    product_ids: tuple[str, ...]
+    query_id: str | None
+    head_text: str
+    intent_id: str | None
+    weight: float = 1.0
+
+
+@dataclass
+class KnowledgeCandidate:
+    """A raw LLM generation attached to its behavior, before refinement."""
+
+    candidate_id: str
+    sample: BehaviorSample
+    text: str
+    relation: Relation | None = None
+    tail: str | None = None
+    truth: GenerationTruth | None = None
+    # Populated by the critic stage.
+    plausibility_score: float | None = None
+    typicality_score: float | None = None
+
+    @property
+    def parsed(self) -> bool:
+        return self.relation is not None and self.tail is not None
+
+
+@dataclass(frozen=True)
+class KnowledgeTriple:
+    """A refined KG edge ``(head, relation, tail)`` (§3.1).
+
+    ``head`` is the behavior's surface form (query text, or the joined
+    co-buy titles); ``support`` counts how many candidates collapsed into
+    this edge.
+    """
+
+    head: str
+    relation: Relation
+    tail: str
+    domain: str
+    behavior: str
+    plausibility: float
+    typicality: float
+    support: int = 1
+    head_ids: tuple[str, ...] = field(default=(), hash=False)
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Identity for deduplication."""
+        return (self.head, self.relation.value, self.tail)

@@ -1,0 +1,7 @@
+"""In-house embedding service stand-in (used by §3.3.1 similarity filtering)."""
+
+from repro.embeddings.encoder import TextEncoder
+from repro.embeddings.hashing import hashed_bow
+from repro.embeddings.similarity import cosine, cosine_matrix
+
+__all__ = ["TextEncoder", "hashed_bow", "cosine", "cosine_matrix"]

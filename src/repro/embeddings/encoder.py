@@ -1,0 +1,60 @@
+"""Dense text encoder: the "in-house language model pretrained on the
+e-commerce corpus" the paper uses for similarity filtering (Eq. 1) and
+for vectorizing COSMO knowledge in COSMO-GNN (§4.2.3).
+
+Implementation: hashed bag-of-n-grams followed by a seeded random
+projection.  Lexical overlap ⇒ high cosine, which is the only property
+the similarity filter needs, and the projection gives compact dense
+vectors for downstream models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.hashing import hashed_bow
+from repro.utils.rng import spawn_rng
+
+__all__ = ["TextEncoder"]
+
+
+class TextEncoder:
+    """Deterministic text → dense-vector encoder with an LRU-ish cache."""
+
+    def __init__(
+        self,
+        dim: int = 64,
+        buckets: int = 2048,
+        seed: int = 0,
+        cache_size: int = 50_000,
+    ):
+        self.dim = dim
+        self.buckets = buckets
+        rng = spawn_rng(seed, "text-encoder")
+        # Sparse random projection: dense Gaussian is fine at this width.
+        self._projection = rng.normal(size=(buckets, dim)) / np.sqrt(dim)
+        self._cache: dict[str, np.ndarray] = {}
+        self._cache_size = cache_size
+
+    def encode(self, text: str) -> np.ndarray:
+        """Dense unit-norm vector for ``text``."""
+        cached = self._cache.get(text)
+        if cached is not None:
+            return cached
+        bow = hashed_bow(text, buckets=self.buckets)
+        dense = bow @ self._projection
+        norm = np.linalg.norm(dense)
+        if norm > 0:
+            dense = dense / norm
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[text] = dense
+        return dense
+
+    def encode_batch(self, texts: list[str]) -> np.ndarray:
+        """Encode many texts; returns an (n, dim) matrix."""
+        return np.stack([self.encode(text) for text in texts]) if texts else np.zeros((0, self.dim))
+
+    def similarity(self, text_a: str, text_b: str) -> float:
+        """Cosine similarity in embedding space (Eq. 1)."""
+        return float(self.encode(text_a) @ self.encode(text_b))

@@ -1,0 +1,22 @@
+"""Cosine-similarity helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cosine", "cosine_matrix"]
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0 when either is zero)."""
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 0.0
+    return float(a @ b / denom)
+
+
+def cosine_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities between rows of ``a`` and rows of ``b``."""
+    a_norm = a / np.maximum(np.linalg.norm(a, axis=1, keepdims=True), 1e-12)
+    b_norm = b / np.maximum(np.linalg.norm(b, axis=1, keepdims=True), 1e-12)
+    return a_norm @ b_norm.T

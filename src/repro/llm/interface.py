@@ -1,0 +1,75 @@
+"""Language-model protocol, generation records, and the latency model.
+
+The latency model is what makes the paper's inference-efficiency claims
+(§1, §5: OPT-30b is "not feasible for online serving", COSMO-LM is) a
+measurable quantity here: every generation is charged simulated seconds
+proportional to parameter count × tokens produced, without wall-clock
+sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+__all__ = ["GenerationTruth", "Generation", "LanguageModel", "LatencyModel"]
+
+
+@dataclass(frozen=True)
+class GenerationTruth:
+    """Hidden oracle record attached to every teacher generation.
+
+    ``quality`` ∈ {"typical", "plausible", "one_sided", "generic",
+    "paraphrase", "implausible", "incomplete"}.  Only the annotation
+    simulator (the stand-in for human annotators) and evaluation code may
+    read it; the extraction pipeline itself never does.
+    """
+
+    quality: str
+    intent_id: str | None = None
+
+
+@dataclass(frozen=True)
+class Generation:
+    """One model output with accounting metadata."""
+
+    text: str
+    tokens: int
+    latency_s: float
+    truth: GenerationTruth | None = None
+
+
+class LanguageModel(Protocol):
+    """Anything that can continue a prompt."""
+
+    name: str
+    parameter_count: int
+
+    def generate(self, prompt: str, num_candidates: int = 1) -> list[Generation]:
+        """Produce ``num_candidates`` continuations of ``prompt``."""
+        ...  # pragma: no cover
+
+
+@dataclass
+class LatencyModel:
+    """Simulated per-token inference latency.
+
+    ``seconds_per_token_per_billion_params`` calibrates the linear model;
+    the default puts OPT-30b at ~0.45 s/token and a 7M-parameter student
+    at ~0.1 ms/token, preserving the orders-of-magnitude gap that drives
+    the paper's serving design.
+    """
+
+    seconds_per_token_per_billion_params: float = 0.015
+    overhead_s: float = 0.002
+    total_simulated_s: float = field(default=0.0, init=False)
+
+    def charge(self, parameter_count: int, tokens: int) -> float:
+        """Account for one generation; returns its simulated latency."""
+        billions = parameter_count / 1e9
+        latency = self.overhead_s + tokens * billions * self.seconds_per_token_per_billion_params
+        self.total_simulated_s += latency
+        return latency
+
+    def reset(self) -> None:
+        self.total_simulated_s = 0.0

@@ -1,0 +1,124 @@
+"""Word-level tokenizer with special tokens for the student LM."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.utils.textproc import tokenize_words
+
+__all__ = ["Tokenizer"]
+
+
+class Tokenizer:
+    """Word-level vocabulary with PAD/BOS/EOS/SEP/UNK specials.
+
+    Built once from a corpus via :meth:`fit`; encoding maps out-of-vocab
+    words to UNK so the student LM degrades gracefully on novel text.
+    """
+
+    PAD = "<pad>"
+    BOS = "<bos>"
+    EOS = "<eos>"
+    SEP = "<sep>"
+    UNK = "<unk>"
+    SPECIALS = (PAD, BOS, EOS, SEP, UNK)
+
+    def __init__(self):
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in self.SPECIALS:
+            self._add(token)
+
+    def _add(self, token: str) -> int:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    # ------------------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[self.PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[self.BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[self.EOS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[self.SEP]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[self.UNK]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    # ------------------------------------------------------------------
+    def fit(self, corpus: Iterable[str], min_count: int = 1, max_vocab: int | None = None) -> "Tokenizer":
+        """Build the vocabulary from an iterable of texts."""
+        counts: Counter[str] = Counter()
+        for text in corpus:
+            counts.update(tokenize_words(text))
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        if max_vocab is not None:
+            ranked = ranked[: max_vocab - len(self.SPECIALS)]
+        for token, count in ranked:
+            if count >= min_count:
+                self._add(token)
+        return self
+
+    def encode(self, text: str, add_eos: bool = False) -> list[int]:
+        """Token ids for ``text`` (unknown words → UNK)."""
+        ids = [self._token_to_id.get(tok, self.unk_id) for tok in tokenize_words(text)]
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: Iterable[int], skip_special: bool = True) -> str:
+        """Text for a sequence of token ids."""
+        tokens = []
+        for token_id in ids:
+            token = self._id_to_token[int(token_id)]
+            if skip_special and token in self.SPECIALS:
+                continue
+            tokens.append(token)
+        return " ".join(tokens)
+
+    def token(self, token_id: int) -> str:
+        return self._id_to_token[int(token_id)]
+
+    def id_of(self, token: str) -> int:
+        """Id of a known token (raises KeyError for unknown tokens)."""
+        return self._token_to_id[token]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | pathlib.Path) -> None:
+        """Persist the vocabulary as JSON."""
+        payload = {"format": "cosmo-tokenizer", "tokens": self._id_to_token}
+        pathlib.Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Tokenizer":
+        """Restore a tokenizer written by :meth:`save`."""
+        payload = json.loads(pathlib.Path(path).read_text())
+        if payload.get("format") != "cosmo-tokenizer":
+            raise ValueError(f"{path}: not a tokenizer file")
+        tokens = payload["tokens"]
+        if tokens[: len(cls.SPECIALS)] != list(cls.SPECIALS):
+            raise ValueError(f"{path}: special tokens corrupted")
+        tokenizer = cls()
+        for token in tokens[len(cls.SPECIALS):]:
+            tokenizer._add(token)
+        return tokenizer

@@ -1,0 +1,81 @@
+"""Attention primitives used by STAMP, GC-SAN and the GNN readouts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["scaled_dot_product_attention", "SelfAttention", "AdditiveAttention"]
+
+_NEG_INF = -1e9
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: np.ndarray | None = None,
+) -> Tensor:
+    """Standard attention ``softmax(QK^T / sqrt(d)) V``.
+
+    ``mask`` is a boolean array broadcastable to the score shape with True
+    at *valid* positions.
+    """
+    dim = query.shape[-1]
+    scores = (query @ key.transpose(0, 2, 1)) / np.sqrt(dim)
+    if mask is not None:
+        bias = np.where(mask, 0.0, _NEG_INF)
+        scores = scores + Tensor(bias)
+    weights = softmax(scores, axis=-1)
+    return weights @ value
+
+
+class SelfAttention(Module):
+    """Single-head self-attention block with a residual connection."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, dim, rng)
+        self.v_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        attended = scaled_dot_product_attention(
+            self.q_proj(x), self.k_proj(x), self.v_proj(x), mask=mask
+        )
+        return x + self.out_proj(attended)
+
+
+class AdditiveAttention(Module):
+    """Additive (Bahdanau-style) attention pooling over a sequence.
+
+    Computes ``alpha_t = v^T sigmoid(W1 x_t + W2 c + b)`` and returns the
+    weighted sum of the sequence — the readout used by SR-GNN and STAMP.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.w_item = Linear(dim, dim, rng, bias=False)
+        self.w_context = Linear(dim, dim, rng)
+        self.v = Linear(dim, 1, rng, bias=False)
+
+    def forward(
+        self,
+        sequence: Tensor,
+        context: Tensor,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """``sequence``: (batch, time, dim); ``context``: (batch, dim)."""
+        batch, steps, dim = sequence.shape
+        expanded = context.reshape(batch, 1, dim)
+        energy = (self.w_item(sequence) + self.w_context(expanded)).sigmoid()
+        scores = self.v(energy)  # (batch, time, 1)
+        if mask is not None:
+            scores = scores * Tensor(mask[..., None].astype(np.float64))
+        weighted = sequence * scores
+        return weighted.sum(axis=1)

@@ -1,0 +1,88 @@
+"""Functional building blocks on top of the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "dropout",
+]
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    weights: np.ndarray | None = None,
+    ignore_index: int | None = None,
+) -> Tensor:
+    """Mean softmax cross-entropy over integer class ``targets``.
+
+    ``logits`` has shape ``(..., num_classes)``; ``targets`` has the
+    leading shape.  ``weights`` optionally re-weights each example.
+    ``ignore_index`` positions contribute zero loss (used to mask padding
+    in LM training).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+
+    mask = np.ones(flat_targets.shape[0], dtype=np.float64)
+    if ignore_index is not None:
+        mask = (flat_targets != ignore_index).astype(np.float64)
+        flat_targets = np.where(flat_targets == ignore_index, 0, flat_targets)
+    if weights is not None:
+        mask = mask * np.asarray(weights, dtype=np.float64).reshape(-1)
+
+    logp = log_softmax(flat_logits, axis=-1)
+    rows = np.arange(flat_targets.shape[0])
+    picked = logp[rows, flat_targets]
+    denom = max(mask.sum(), 1.0)
+    return -(picked * Tensor(mask)).sum() / denom
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean BCE for binary ``targets`` given raw ``logits``.
+
+    Uses the stable formulation ``max(x,0) - x*t + log(1+exp(-|x|))``.
+    """
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    x = logits
+    positive = x.relu()
+    abs_x = (x * x).sqrt()
+    loss = positive - x * targets_t + ((-abs_x).exp() + 1.0).log()
+    return loss.mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant ``target`` array."""
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when ``training`` is false or rate 0."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)

@@ -1,0 +1,78 @@
+"""Recurrent layers: GRUCell and a batched multi-step GRU.
+
+The GRU drives both GRU4Rec (§4.2.2) and the COSMO-LM student language
+model (§3.4 stand-in).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit step."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        bound = 1.0 / np.sqrt(hidden_size)
+        # Gates packed as [reset | update | candidate].
+        self.w_ih = Parameter(init.uniform(rng, (input_size, 3 * hidden_size), bound))
+        self.w_hh = Parameter(init.uniform(rng, (hidden_size, 3 * hidden_size), bound))
+        self.b_ih = Parameter(np.zeros(3 * hidden_size))
+        self.b_hh = Parameter(np.zeros(3 * hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One step: ``x`` is (batch, input), ``h`` is (batch, hidden)."""
+        hs = self.hidden_size
+        gi = x @ self.w_ih + self.b_ih
+        gh = h @ self.w_hh + self.b_hh
+        i_r, i_z, i_n = gi[:, :hs], gi[:, hs : 2 * hs], gi[:, 2 * hs :]
+        h_r, h_z, h_n = gh[:, :hs], gh[:, hs : 2 * hs], gh[:, 2 * hs :]
+        reset = (i_r + h_r).sigmoid()
+        update = (i_z + h_z).sigmoid()
+        candidate = (i_n + reset * h_n).tanh()
+        return update * h + (1.0 - update) * candidate
+
+
+class GRU(Module):
+    """Batched GRU unrolled over the time axis.
+
+    Input shape ``(batch, time, input_size)``; returns the sequence of
+    hidden states ``(batch, time, hidden_size)`` and the final state.
+    An optional boolean mask ``(batch, time)`` freezes the state at padded
+    positions so variable-length sequences batch cleanly.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self,
+        x: Tensor,
+        h0: Tensor | None = None,
+        mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        batch, steps, _ = x.shape
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_size)))
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            x_t = x[:, t, :]
+            h_next = self.cell(x_t, h)
+            if mask is not None:
+                keep = Tensor(mask[:, t : t + 1].astype(np.float64))
+                h = h_next * keep + h * (1.0 - keep)
+            else:
+                h = h_next
+            outputs.append(h)
+        sequence = Tensor.stack(outputs, axis=1)
+        return sequence, h

@@ -1,0 +1,5 @@
+"""Paper-shaped table rendering for the benchmark harness."""
+
+from repro.reporting.tables import Table, format_float, format_percent
+
+__all__ = ["Table", "format_float", "format_percent"]

@@ -1,0 +1,16 @@
+"""Online deployment substrate (§3.5, Figure 5)."""
+
+from repro.serving.cache import AsyncCacheStore, CacheStats
+from repro.serving.clock import SimClock
+from repro.serving.deployment import CosmoService, ServingMetrics
+from repro.serving.feature_store import FeatureRecord, FeatureStore
+
+__all__ = [
+    "SimClock",
+    "AsyncCacheStore",
+    "CacheStats",
+    "FeatureStore",
+    "FeatureRecord",
+    "CosmoService",
+    "ServingMetrics",
+]

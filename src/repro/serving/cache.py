@@ -1,0 +1,110 @@
+"""Two-layer asynchronous cache store (§3.5.1).
+
+Layer 1 is pre-loaded with the year's frequent searches; layer 2 absorbs
+the day's traffic via batch processing: a miss enqueues the query and the
+next batch run computes its response and populates the cache.  This is
+exactly the paper's trade — most traffic answered at cache latency, cold
+queries answered on the *next* request after a batch cycle — and it makes
+hit rate, latency and staleness measurable quantities.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.serving.clock import SimClock
+
+__all__ = ["CacheStats", "AsyncCacheStore"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache store."""
+
+    layer1_hits: int = 0
+    layer2_hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.layer1_hits + self.layer2_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return (self.layer1_hits + self.layer2_hits) / self.requests
+
+
+class AsyncCacheStore:
+    """Pre-loaded yearly layer + batch-updated daily layer + miss queue."""
+
+    def __init__(self, clock: SimClock, daily_capacity: int = 10_000):
+        self._clock = clock
+        self._yearly: dict[str, str] = {}
+        self._daily: dict[str, str] = {}
+        self._daily_day: int = clock.day
+        self._daily_capacity = daily_capacity
+        self._pending: dict[str, int] = {}  # query → enqueue day
+        self.stats = CacheStats()
+        self.request_log: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def preload_yearly(self, entries: dict[str, str]) -> None:
+        """Load the year's frequent-search responses (layer 1)."""
+        self._yearly.update(entries)
+
+    def lookup(self, query: str) -> str | None:
+        """Serve a request; a miss enqueues the query for the next batch."""
+        self.request_log[query] += 1
+        self._roll_daily_layer()
+        if query in self._yearly:
+            self.stats.layer1_hits += 1
+            return self._yearly[query]
+        if query in self._daily:
+            self.stats.layer2_hits += 1
+            return self._daily[query]
+        self.stats.misses += 1
+        self._pending.setdefault(query, self._clock.day)
+        return None
+
+    def _roll_daily_layer(self) -> None:
+        """Daily layer resets when the simulated day rolls over."""
+        if self._clock.day != self._daily_day:
+            self._daily.clear()
+            self._daily_day = self._clock.day
+
+    # ------------------------------------------------------------------
+    def pending_queries(self) -> list[str]:
+        """Queries awaiting batch processing, oldest first."""
+        return sorted(self._pending, key=lambda q: self._pending[q])
+
+    def apply_batch(self, responses: dict[str, str]) -> int:
+        """Install batch-computed responses into the daily layer."""
+        self._roll_daily_layer()
+        installed = 0
+        for query, response in responses.items():
+            if len(self._daily) >= self._daily_capacity:
+                break
+            self._daily[query] = response
+            self._pending.pop(query, None)
+            installed += 1
+        return installed
+
+    def promote_frequent(self, min_requests: int = 10) -> int:
+        """Move hot daily entries into the yearly layer (traffic adaption)."""
+        promoted = 0
+        for query, response in list(self._daily.items()):
+            if self.request_log[query] >= min_requests and query not in self._yearly:
+                self._yearly[query] = response
+                promoted += 1
+        return promoted
+
+    @property
+    def yearly_size(self) -> int:
+        return len(self._yearly)
+
+    @property
+    def daily_size(self) -> int:
+        return len(self._daily)

@@ -1,0 +1,36 @@
+"""Simulated clock for the serving layer.
+
+Deployment behavior (cache TTLs, daily refreshes, latency percentiles) is
+driven by simulated time so tests and benches are deterministic and do
+not sleep.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+class SimClock:
+    """A manually advanced clock (seconds since simulation start)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_days(self, days: float) -> float:
+        return self.advance(days * SECONDS_PER_DAY)
+
+    @property
+    def day(self) -> int:
+        """Whole days elapsed since simulation start."""
+        return int(self._now // SECONDS_PER_DAY)

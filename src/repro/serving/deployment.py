@@ -1,0 +1,172 @@
+"""The deployed COSMO service: operational flow of §3.5.2 / Figure 5.
+
+Ties together the model (COSMO-LM), the two-layer asynchronous cache
+store and the feature store, with simulated latency accounting:
+
+* **request handling** — queries first hit the cache; hits return at
+  cache latency, misses are enqueued and return a fallback;
+* **batch processing** — pending queries are answered by the model in
+  bulk and written through the feature store into the daily cache layer;
+* **daily refresh** — session logs feed back into the model (the
+  feedback loop) and stale features are recomputed;
+* **latency accounting** — every request is charged simulated seconds so
+  p50/p99 and the cached-vs-direct-LLM comparison are measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.cache import AsyncCacheStore
+from repro.serving.clock import SimClock
+from repro.serving.feature_store import FeatureStore
+
+__all__ = ["ServingMetrics", "CosmoService"]
+
+_CACHE_LATENCY_S = 0.002
+
+
+@dataclass
+class ServingMetrics:
+    """Latency and throughput accounting for the service."""
+
+    request_latencies_s: list[float] = field(default_factory=list)
+    batch_runs: int = 0
+    batch_queries_processed: int = 0
+    fallbacks: int = 0
+
+    def percentile(self, q: float) -> float:
+        if not self.request_latencies_s:
+            return 0.0
+        return float(np.percentile(self.request_latencies_s, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+class CosmoService:
+    """Online serving wrapper around any batched knowledge generator.
+
+    ``generator`` must expose ``generate_knowledge(prompts) ->
+    [Generation]`` and a ``latency`` :class:`LatencyModel` — both
+    :class:`~repro.core.cosmo_lm.CosmoLM` and a raw teacher adapter
+    qualify, so the serving bench can compare the two deployments.
+    """
+
+    def __init__(
+        self,
+        generator,
+        clock: SimClock | None = None,
+        prompt_builder=None,
+        fallback_response: str = "",
+        daily_capacity: int = 10_000,
+    ):
+        self.generator = generator
+        self.clock = clock or SimClock()
+        self.cache = AsyncCacheStore(self.clock, daily_capacity=daily_capacity)
+        self.features = FeatureStore(self.clock)
+        self.metrics = ServingMetrics()
+        self._prompt_builder = prompt_builder or (lambda query: query)
+        self._fallback = fallback_response
+        self._feedback: list[tuple[str, str, bool]] = []
+
+    # ------------------------------------------------------------------
+    def handle_request(self, query: str) -> str:
+        """Serve one query from cache; misses get the fallback response."""
+        response = self.cache.lookup(query)
+        self.metrics.request_latencies_s.append(_CACHE_LATENCY_S)
+        self.clock.advance(_CACHE_LATENCY_S)
+        if response is None:
+            self.metrics.fallbacks += 1
+            return self._fallback
+        return response
+
+    def handle_request_direct(self, query: str) -> str:
+        """Bypass the cache and call the model synchronously.
+
+        The comparison point for the serving bench: this is what serving
+        the teacher LLM per-request would cost.
+        """
+        before = self.generator.latency.total_simulated_s
+        generation = self.generator.generate_knowledge([self._prompt_builder(query)])[0]
+        latency = self.generator.latency.total_simulated_s - before
+        self.metrics.request_latencies_s.append(latency)
+        self.clock.advance(latency)
+        return generation.text
+
+    # ------------------------------------------------------------------
+    def run_batch(self, max_queries: int | None = None) -> int:
+        """Process pending queries in bulk and install responses."""
+        pending = self.cache.pending_queries()
+        if max_queries is not None:
+            pending = pending[:max_queries]
+        if not pending:
+            return 0
+        prompts = [self._prompt_builder(query) for query in pending]
+        generations = self.generator.generate_knowledge(prompts)
+        responses: dict[str, str] = {}
+        for query, generation in zip(pending, generations):
+            responses[query] = generation.text
+            self.features.put(query, generation.text)
+        installed = self.cache.apply_batch(responses)
+        self.metrics.batch_runs += 1
+        self.metrics.batch_queries_processed += len(pending)
+        return installed
+
+    # ------------------------------------------------------------------
+    # Feedback loop (§3.5.2): user interactions flow back into the model.
+    # ------------------------------------------------------------------
+    def record_feedback(self, query: str, knowledge: str, helpful: bool) -> None:
+        """Log one user interaction with served knowledge."""
+        self._feedback.append((query, knowledge, helpful))
+
+    @property
+    def pending_feedback(self) -> int:
+        return len(self._feedback)
+
+    def apply_feedback(self, epochs: int = 1) -> int:
+        """Continually finetune the model's typicality judge on logged
+        interactions; returns the number of examples consumed.
+
+        Requires the generator to expose a trainable ``classifier`` (the
+        :class:`~repro.core.cosmo_lm.CosmoLM` interface); other
+        generators simply ignore feedback.
+        """
+        if not self._feedback:
+            return 0
+        classifier = getattr(self.generator, "classifier", None)
+        if classifier is None or not hasattr(classifier, "fit"):
+            self._feedback.clear()
+            return 0
+        pairs = []
+        for query, knowledge, helpful in self._feedback:
+            prompt = (f"{self._prompt_builder(query).rsplit(' task: ', 1)[0]} "
+                      f"knowledge: {knowledge.rstrip('.')} task: typicality")
+            pairs.append((prompt, "yes" if helpful else "no"))
+        classifier.fit(pairs, epochs=epochs)
+        consumed = len(self._feedback)
+        self._feedback.clear()
+        return consumed
+
+    def daily_refresh(self, refresh_stale: bool = True) -> dict[str, int]:
+        """End-of-day maintenance: promote hot entries, refresh stale
+        features, advance the clock to the next day."""
+        promoted = self.cache.promote_frequent()
+        self.apply_feedback()
+        refreshed = 0
+        if refresh_stale:
+            stale = self.features.stale_keys(max_age_days=1)
+            if stale:
+                prompts = [self._prompt_builder(key) for key in stale]
+                for key, generation in zip(stale, self.generator.generate_knowledge(prompts)):
+                    self.features.put(key, generation.text)
+                    refreshed += 1
+        self.clock.advance_days(1)
+        return {"promoted": promoted, "refreshed": refreshed}

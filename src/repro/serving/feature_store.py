@@ -1,0 +1,96 @@
+"""Feature store (§3.5.1): model responses → structured features.
+
+Transfers COSMO-LM responses into actionable features for downstream
+applications: product key-value pairs, semantic subcategory
+representations, and strong-intent flags.  Entries are versioned by
+refresh day so the staleness limitation §3.5.3 discusses is observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.relations import RELATION_SPECS, Relation, parse_predicate
+from repro.serving.clock import SimClock
+
+__all__ = ["FeatureRecord", "FeatureStore"]
+
+
+@dataclass(frozen=True)
+class FeatureRecord:
+    """Structured features distilled from one model response."""
+
+    key: str
+    knowledge_text: str
+    relation: str | None
+    tail: str | None
+    tail_type: str | None
+    strong_intent: bool
+    refreshed_day: int
+    extras: dict[str, str] = field(default_factory=dict, hash=False)
+
+
+class FeatureStore:
+    """Key → structured-feature mapping with refresh-day versioning."""
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self._records: dict[str, FeatureRecord] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    @staticmethod
+    def structure(key: str, knowledge_text: str, refreshed_day: int,
+                  extras: dict[str, str] | None = None) -> FeatureRecord:
+        """Parse a raw model response into a structured record.
+
+        ``strong_intent`` marks activity/function knowledge — the signals
+        navigation treats as explicit customer intents.
+        """
+        parsed = parse_predicate(knowledge_text)
+        relation_name = tail = tail_type = None
+        strong = False
+        if parsed is not None:
+            relation, tail = parsed
+            relation_name = relation.value
+            tail_type = RELATION_SPECS[relation].tail_type.value
+            strong = relation in (
+                Relation.USED_FOR_EVE, Relation.X_WANT, Relation.USED_FOR_FUNC,
+                Relation.CAPABLE_OF, Relation.USED_TO,
+            )
+        return FeatureRecord(
+            key=key,
+            knowledge_text=knowledge_text,
+            relation=relation_name,
+            tail=tail,
+            tail_type=tail_type,
+            strong_intent=strong,
+            refreshed_day=refreshed_day,
+            extras=extras or {},
+        )
+
+    def put(self, key: str, knowledge_text: str, extras: dict[str, str] | None = None) -> FeatureRecord:
+        """Structure and store one model response."""
+        record = self.structure(key, knowledge_text, self._clock.day, extras)
+        self._records[key] = record
+        self.writes += 1
+        return record
+
+    def get(self, key: str) -> FeatureRecord | None:
+        self.reads += 1
+        return self._records.get(key)
+
+    def stale_keys(self, max_age_days: int = 1) -> list[str]:
+        """Keys whose features are older than ``max_age_days``."""
+        today = self._clock.day
+        return [
+            key
+            for key, record in self._records.items()
+            if today - record.refreshed_day > max_age_days
+        ]

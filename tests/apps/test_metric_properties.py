@@ -1,0 +1,53 @@
+"""Property-based invariants of the ranking metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.recommendation.metrics import hits_at_k, mrr_at_k, ndcg_at_k
+
+
+@st.composite
+def score_batches(draw):
+    n = draw(st.integers(1, 8))
+    m = draw(st.integers(2, 12))
+    scores = np.array(
+        draw(st.lists(st.lists(st.floats(-5, 5, allow_nan=False), min_size=m, max_size=m),
+                      min_size=n, max_size=n))
+    )
+    targets = np.array(draw(st.lists(st.integers(0, m - 1), min_size=n, max_size=n)))
+    return scores, targets
+
+
+@given(score_batches(), st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_metric_ordering_and_bounds(batch, k):
+    scores, targets = batch
+    hits = hits_at_k(scores, targets, k)
+    ndcg = ndcg_at_k(scores, targets, k)
+    mrr = mrr_at_k(scores, targets, k)
+    # All in [0,1], and MRR ≤ NDCG ≤ Hits (per-example gains obey
+    # 1/rank ≤ 1/log2(rank+1) ≤ 1 for rank ≥ 1).
+    for value in (hits, ndcg, mrr):
+        assert 0.0 <= value <= 1.0
+    assert mrr <= ndcg + 1e-12
+    assert ndcg <= hits + 1e-12
+
+
+@given(score_batches())
+@settings(max_examples=40, deadline=None)
+def test_metrics_monotone_in_k(batch):
+    scores, targets = batch
+    previous = 0.0
+    for k in range(1, scores.shape[1] + 1):
+        current = hits_at_k(scores, targets, k)
+        assert current >= previous - 1e-12
+        previous = current
+
+
+@given(score_batches())
+@settings(max_examples=40, deadline=None)
+def test_full_k_hits_is_one_without_ties_at_top(batch):
+    scores, targets = batch
+    # With k = number of items, every target is ranked within k.
+    assert hits_at_k(scores, targets, scores.shape[1]) == 1.0

@@ -1,0 +1,56 @@
+"""Macro/Micro F1 correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.relevance.metrics import f1_scores, macro_f1, micro_f1
+
+
+def test_perfect_predictions():
+    y = np.array([0, 1, 2, 3, 0, 1])
+    assert macro_f1(y, y, 4) == pytest.approx(1.0)
+    assert micro_f1(y, y, 4) == pytest.approx(1.0)
+
+
+def test_known_confusion():
+    y_true = np.array([0, 0, 1, 1])
+    y_pred = np.array([0, 1, 1, 1])
+    scores = f1_scores(y_true, y_pred, 2)
+    # class 0: precision 1, recall 0.5 → 2/3; class 1: p 2/3, r 1 → 0.8
+    assert scores[0] == pytest.approx(2 / 3)
+    assert scores[1] == pytest.approx(0.8)
+    assert macro_f1(y_true, y_pred, 2) == pytest.approx((2 / 3 + 0.8) / 2)
+    assert micro_f1(y_true, y_pred, 2) == pytest.approx(0.75)
+
+
+def test_missing_class_scores_zero():
+    y_true = np.array([0, 0, 1])
+    y_pred = np.array([0, 0, 0])
+    scores = f1_scores(y_true, y_pred, 3)
+    assert scores[1] == 0.0
+    assert scores[2] == 0.0
+
+
+def test_macro_punishes_rare_class_errors_more_than_micro():
+    y_true = np.array([0] * 95 + [1] * 5)
+    y_pred = np.array([0] * 100)
+    assert micro_f1(y_true, y_pred, 2) > macro_f1(y_true, y_pred, 2)
+
+
+def test_micro_equals_accuracy_single_label():
+    rng = np.random.default_rng(0)
+    y_true = rng.integers(0, 4, 100)
+    y_pred = rng.integers(0, 4, 100)
+    assert micro_f1(y_true, y_pred, 4) == pytest.approx((y_true == y_pred).mean())
+
+
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_scores_in_unit_interval(labels):
+    y = np.array(labels)
+    rng = np.random.default_rng(1)
+    y_pred = rng.integers(0, 4, len(y))
+    assert 0.0 <= macro_f1(y, y_pred, 4) <= 1.0
+    assert 0.0 <= micro_f1(y, y_pred, 4) <= 1.0

@@ -1,0 +1,60 @@
+"""Search-buy simulator invariants."""
+
+from repro.behavior import simulate_searchbuy
+
+
+def test_records_reference_valid_entities(world):
+    log = simulate_searchbuy(world, records_per_domain=50, seed=5)
+    for record in log.records[:300]:
+        query = world.queries.get(record.query_id)
+        assert query.domain == record.domain
+        assert record.product_id in world.catalog
+
+
+def test_purchases_never_exceed_clicks(world):
+    log = simulate_searchbuy(world, records_per_domain=50, seed=5)
+    for record in log.records:
+        assert 1 <= record.purchases <= record.clicks
+
+
+def test_purchase_rate_bounds(world):
+    log = simulate_searchbuy(world, records_per_domain=50, seed=5)
+    for record in log.records[:100]:
+        rate = log.purchase_rate(record.query_id)
+        assert 0.0 < rate <= 1.0
+
+
+def test_intent_consistency_for_broad_queries(world):
+    log = simulate_searchbuy(world, records_per_domain=60, noise_rate=0.0, seed=5)
+    for record in log.records:
+        query = world.queries.get(record.query_id)
+        product = world.catalog.get(record.product_id)
+        if query.breadth == "broad":
+            assert record.intent_id == query.intent_id
+            assert record.intent_id in product.intent_ids
+        else:
+            assert product.product_type == query.product_type
+
+
+def test_noise_rate_produces_unexplained_records(world):
+    noisy = simulate_searchbuy(world, records_per_domain=80, noise_rate=0.3, seed=5)
+    clean = simulate_searchbuy(world, records_per_domain=80, noise_rate=0.0, seed=5)
+    noisy_none = sum(r.intent_id is None for r in noisy.records) / len(noisy.records)
+    clean_none = sum(r.intent_id is None for r in clean.records) / len(clean.records)
+    assert noisy_none > clean_none
+
+
+def test_engagement_aggregation(world):
+    log = simulate_searchbuy(world, records_per_domain=40, seed=5)
+    record = log.records[0]
+    clicks, purchases = log.query_engagement(record.query_id)
+    manual_clicks = sum(r.clicks for r in log.records if r.query_id == record.query_id)
+    manual_purch = sum(r.purchases for r in log.records if r.query_id == record.query_id)
+    assert clicks == manual_clicks
+    assert purchases == manual_purch
+
+
+def test_product_degree_counts_purchases(world):
+    log = simulate_searchbuy(world, records_per_domain=40, seed=5)
+    total = sum(log.product_degree(p.product_id) for p in world.catalog.all())
+    assert total == sum(r.purchases for r in log.records)

@@ -1,0 +1,38 @@
+"""World assembly and configuration scaling."""
+
+from repro.behavior import World, WorldConfig
+
+
+def test_describe_counts(world):
+    summary = world.describe()
+    assert summary["products"] == len(world.catalog)
+    assert summary["queries"] == len(world.queries)
+    assert summary["intents"] == len(world.intents)
+
+
+def test_scaled_config():
+    base = WorldConfig(seed=1, products_per_domain=40,
+                       broad_queries_per_domain=20, specific_queries_per_domain=20)
+    half = base.scaled(0.5)
+    assert half.products_per_domain == 20
+    assert half.broad_queries_per_domain == 10
+    assert half.seed == base.seed
+    tiny = base.scaled(0.001)
+    assert tiny.products_per_domain >= 1  # never collapses to zero
+
+
+def test_world_determinism():
+    a = World(WorldConfig(seed=5, products_per_domain=8,
+                          broad_queries_per_domain=4, specific_queries_per_domain=4))
+    b = World(WorldConfig(seed=5, products_per_domain=8,
+                          broad_queries_per_domain=4, specific_queries_per_domain=4))
+    assert [p.title for p in a.catalog.all()] == [p.title for p in b.catalog.all()]
+    assert [q.text for q in a.queries.all()] == [q.text for q in b.queries.all()]
+
+
+def test_different_seed_changes_world():
+    a = World(WorldConfig(seed=5, products_per_domain=8,
+                          broad_queries_per_domain=4, specific_queries_per_domain=4))
+    b = World(WorldConfig(seed=6, products_per_domain=8,
+                          broad_queries_per_domain=4, specific_queries_per_domain=4))
+    assert [p.title for p in a.catalog.all()] != [p.title for p in b.catalog.all()]

@@ -1,0 +1,65 @@
+"""Product catalog generation invariants."""
+
+from repro.behavior.intents import IntentSpace
+from repro.catalog import build_catalog
+
+
+def test_catalog_size_and_domains(world):
+    assert len(world.catalog) == 18 * world.config.products_per_domain
+    assert len({p.domain for p in world.catalog.all()}) == 18
+
+
+def test_indexes_are_consistent(world):
+    for product in world.catalog.all()[:200]:
+        assert world.catalog.get(product.product_id) is product
+        assert product in world.catalog.for_domain(product.domain)
+        assert product in world.catalog.for_type(product.domain, product.product_type)
+        for intent_id in product.intent_ids:
+            assert product in world.catalog.serving_intent(intent_id)
+
+
+def test_titles_contain_brand_and_type(world):
+    for product in world.catalog.all()[:50]:
+        assert product.title.startswith(product.brand)
+        assert product.title.endswith(product.product_type)
+
+
+def test_products_reference_valid_domain_intents(world):
+    for product in world.catalog.all()[:200]:
+        for intent_id in product.intent_ids:
+            intent = world.intents.get(intent_id)
+            assert intent.domain == product.domain
+
+
+def test_every_intent_served_by_multiple_types():
+    intents = IntentSpace(seed=5)
+    catalog = build_catalog(intents, products_per_domain=48, seed=5)
+    # The intent→type fanout guarantees breadth for broad queries.
+    multi_type = 0
+    total = 0
+    for intent in intents.all():
+        serving = catalog.serving_intent(intent.intent_id)
+        if not serving:
+            continue
+        total += 1
+        if len({p.product_type for p in serving}) >= 2:
+            multi_type += 1
+    assert total > 0
+    assert multi_type / total > 0.5
+
+
+def test_popularity_is_positive_and_heavy_tailed(world):
+    popularity = [p.popularity for p in world.catalog.all()]
+    assert min(popularity) > 0
+    top = sorted(popularity, reverse=True)
+    # Pareto-ish: top decile holds a disproportionate share.
+    share = sum(top[: len(top) // 10]) / sum(top)
+    assert share > 0.3
+
+
+def test_determinism_same_seed():
+    intents = IntentSpace(seed=3)
+    first = build_catalog(intents, products_per_domain=12, seed=3)
+    second = build_catalog(intents, products_per_domain=12, seed=3)
+    for a, b in zip(first.all(), second.all()):
+        assert a == b

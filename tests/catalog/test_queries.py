@@ -1,0 +1,57 @@
+"""Query generation and the specificity service."""
+
+import numpy as np
+
+from repro.catalog.queries import render_broad_query
+from repro.core.relations import TailType
+from repro.utils.rng import spawn_rng
+
+
+def test_query_population_split(world):
+    broad = [q for q in world.queries.all() if q.breadth == "broad"]
+    specific = [q for q in world.queries.all() if q.breadth == "specific"]
+    per_domain = world.config.broad_queries_per_domain
+    assert len(broad) == 18 * per_domain
+    assert len(specific) == 18 * world.config.specific_queries_per_domain
+
+
+def test_broad_queries_carry_intents_specific_carry_types(world):
+    for query in world.queries.all()[:200]:
+        if query.breadth == "broad":
+            assert query.intent_id is not None and query.product_type is None
+            assert query.intent_id in world.intents
+        else:
+            assert query.product_type is not None and query.intent_id is None
+
+
+def test_broad_query_text_mentions_intent_tail(world):
+    for query in world.queries.broad()[:50]:
+        tail = world.intents.get(query.intent_id).tail
+        assert tail in query.text
+
+
+def test_specificity_specific_queries_score_one(world):
+    specific = [q for q in world.queries.all() if q.breadth == "specific"]
+    for query in specific[:30]:
+        assert world.specificity.score(query) == 1.0
+
+
+def test_specificity_broad_at_most_specific(world):
+    broad_scores = [world.specificity.score(q) for q in world.queries.broad()]
+    # Broad queries match several product types on average.
+    assert np.mean(broad_scores) < 1.0
+    assert all(0.0 <= s <= 1.0 for s in broad_scores)
+
+
+def test_matching_types_for_broad_query(world):
+    query = world.queries.broad()[0]
+    types = world.specificity.matching_types(query)
+    serving = {p.product_type for p in world.catalog.serving_intent(query.intent_id)}
+    assert types == serving
+
+
+def test_render_broad_query_contains_tail():
+    rng = spawn_rng(0, "render")
+    for tail_type in (TailType.ACTIVITY, TailType.AUDIENCE, TailType.FUNCTION):
+        text = render_broad_query(tail_type, "sample tail", rng)
+        assert "sample tail" in text

@@ -1,0 +1,36 @@
+"""Shared fixtures: one tiny world and one tiny pipeline run per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.behavior import World, WorldConfig
+from repro.core import CosmoPipeline, PipelineConfig
+
+
+TINY_WORLD = WorldConfig(
+    seed=11,
+    products_per_domain=24,
+    broad_queries_per_domain=10,
+    specific_queries_per_domain=10,
+)
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    return World(TINY_WORLD)
+
+
+@pytest.fixture(scope="session")
+def pipeline_result():
+    """A small end-to-end pipeline run (no LM finetuning, for speed)."""
+    config = PipelineConfig(
+        seed=11,
+        world=TINY_WORLD,
+        cobuy_pairs_per_domain=30,
+        searchbuy_records_per_domain=40,
+        annotation_budget=300,
+        finetune_lm=False,
+        expand_with_lm=False,
+    )
+    return CosmoPipeline(config).run()

@@ -1,0 +1,77 @@
+"""Tokenizer and COSMO-LM persistence: the deployment refresh artifact."""
+
+import json
+
+import pytest
+
+from repro.behavior import WorldConfig
+from repro.core import CosmoLMConfig, CosmoPipeline, PipelineConfig
+from repro.core.cosmo_lm import CosmoLM
+from repro.llm import Tokenizer
+
+
+def test_tokenizer_roundtrip(tmp_path):
+    tok = Tokenizer().fit(["winter camping gear", "dog leash"])
+    path = tmp_path / "tok.json"
+    tok.save(path)
+    loaded = Tokenizer.load(path)
+    assert len(loaded) == len(tok)
+    text = "winter dog camping"
+    assert loaded.encode(text) == tok.encode(text)
+
+
+def test_tokenizer_load_validates(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format": "other", "tokens": []}))
+    with pytest.raises(ValueError, match="not a tokenizer"):
+        Tokenizer.load(path)
+    path.write_text(json.dumps({"format": "cosmo-tokenizer", "tokens": ["<bad>"]}))
+    with pytest.raises(ValueError, match="special tokens"):
+        Tokenizer.load(path)
+
+
+@pytest.fixture(scope="module")
+def small_lm():
+    config = PipelineConfig(
+        seed=41,
+        world=WorldConfig(seed=41, products_per_domain=16,
+                          broad_queries_per_domain=8, specific_queries_per_domain=8),
+        cobuy_pairs_per_domain=20,
+        searchbuy_records_per_domain=25,
+        annotation_budget=200,
+        lm=CosmoLMConfig(epochs=4, hidden_dim=48),
+        expand_with_lm=False,
+    )
+    result = CosmoPipeline(config).run()
+    return result
+
+
+def test_cosmo_lm_save_load_identical_generations(tmp_path, small_lm):
+    lm = small_lm.cosmo_lm
+    world = small_lm.world
+    directory = tmp_path / "cosmo-lm"
+    lm.save(directory)
+    restored = CosmoLM.load(directory)
+
+    samples = small_lm.samples[:10]
+    prompts = [lm.prompt_for_sample(world, s) for s in samples]
+    original = [g.text for g in lm.generate_knowledge(prompts)]
+    reloaded = [g.text for g in restored.generate_knowledge(prompts)]
+    assert original == reloaded
+
+
+def test_cosmo_lm_save_load_preserves_classifier(tmp_path, small_lm):
+    lm = small_lm.cosmo_lm
+    world = small_lm.world
+    directory = tmp_path / "cosmo-lm"
+    lm.save(directory)
+    restored = CosmoLM.load(directory)
+    sample = small_lm.samples[0]
+    prompt = lm.prompt_for_sample(world, sample)
+    assert (restored.predict_typicality(prompt, "it is used for camping")
+            == lm.predict_typicality(prompt, "it is used for camping"))
+
+
+def test_save_before_finetune_raises(tmp_path):
+    with pytest.raises(RuntimeError, match="finetune"):
+        CosmoLM().save(tmp_path / "x")

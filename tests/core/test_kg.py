@@ -1,0 +1,107 @@
+"""Knowledge graph container: dedup, stats, hierarchy, export."""
+
+import pytest
+
+from repro.core.kg import KnowledgeGraph
+from repro.core.relations import Relation
+from repro.core.triples import KnowledgeTriple
+
+
+def _triple(head="q ||| p", tail="camping", relation=Relation.USED_FOR_EVE,
+            domain="Sports & Outdoors", behavior="search-buy",
+            plausibility=0.9, typicality=0.6):
+    return KnowledgeTriple(
+        head=head, relation=relation, tail=tail, domain=domain,
+        behavior=behavior, plausibility=plausibility, typicality=typicality,
+    )
+
+
+def test_add_and_len():
+    kg = KnowledgeGraph()
+    kg.add(_triple())
+    kg.add(_triple(tail="hiking"))
+    assert len(kg) == 2
+
+
+def test_duplicate_merges_support_and_max_scores():
+    kg = KnowledgeGraph()
+    kg.add(_triple(plausibility=0.6, typicality=0.2))
+    kg.add(_triple(plausibility=0.9, typicality=0.1))
+    assert len(kg) == 1
+    merged = kg.triples()[0]
+    assert merged.support == 2
+    assert merged.plausibility == 0.9
+    assert merged.typicality == 0.2
+
+
+def test_edges_for_counts_unique_edges():
+    kg = KnowledgeGraph()
+    kg.add(_triple())
+    kg.add(_triple())  # duplicate: not a new edge
+    kg.add(_triple(tail="hiking"))
+    assert kg.edges_for("Sports & Outdoors", "search-buy") == 2
+    assert kg.edges_for("Sports & Outdoors", "co-buy") == 0
+
+
+def test_stats():
+    kg = KnowledgeGraph()
+    kg.add(_triple())
+    kg.add(_triple(head="q2 ||| p2", tail="hiking", relation=Relation.X_WANT,
+                   domain="Electronics", behavior="co-buy"))
+    stats = kg.stats()
+    assert stats.edges == 2
+    assert stats.nodes == 4
+    assert stats.relations == 2
+    assert stats.domains == 2
+
+
+def test_relation_and_domain_lookup():
+    kg = KnowledgeGraph()
+    kg.add(_triple())
+    kg.add(_triple(tail="hiking", relation=Relation.X_WANT))
+    assert len(kg.by_relation(Relation.X_WANT)) == 1
+    assert len(kg.for_domain("Sports & Outdoors")) == 2
+    assert kg.tails() == ["camping", "hiking"]
+
+
+def test_to_networkx_roundtrip():
+    kg = KnowledgeGraph()
+    kg.add(_triple())
+    graph = kg.to_networkx()
+    assert graph.number_of_nodes() == 2
+    assert graph.number_of_edges() == 1
+    _, _, data = next(iter(graph.edges(data=True)))
+    assert data["relation"] == Relation.USED_FOR_EVE.value
+
+
+def test_tail_hierarchy_nests_modified_tails():
+    kg = KnowledgeGraph()
+    kg.add(_triple(tail="camping"))
+    kg.add(_triple(head="q2 ||| brand two winter boots", tail="winter camping"))
+    kg.add(_triple(tail="hiking"))
+    roots = kg.tail_hierarchy()
+    labels = {node.label for node in roots}
+    assert labels == {"camping", "hiking"}
+    camping = next(node for node in roots if node.label == "camping")
+    assert [child.label for child in camping.children] == ["winter camping"]
+    winter = camping.children[0]
+    assert "winter boots" in winter.product_concepts
+    assert camping.depth() == 2
+
+
+def test_tail_hierarchy_domain_filter():
+    kg = KnowledgeGraph()
+    kg.add(_triple())
+    kg.add(_triple(domain="Electronics", tail="streaming"))
+    roots = kg.tail_hierarchy(domain="Electronics")
+    assert [node.label for node in roots] == ["streaming"]
+
+
+def test_pipeline_kg_invariants(pipeline_result):
+    kg = pipeline_result.kg
+    stats = kg.stats()
+    assert stats.edges == len(kg)
+    assert stats.domains == 18
+    assert stats.relations >= 10
+    for triple in kg.triples()[:100]:
+        assert triple.plausibility > 0.5  # critic threshold applied

@@ -1,0 +1,83 @@
+"""KG serialization round trips and validation."""
+
+import json
+
+import pytest
+
+from repro.core.kg import KnowledgeGraph
+from repro.core.kg_io import load_kg, record_to_triple, save_kg, triple_to_record
+from repro.core.relations import Relation
+from repro.core.triples import KnowledgeTriple
+
+
+def _triple(tail="camping", support=2):
+    return KnowledgeTriple(
+        head="winter camping gear ||| acme tent",
+        relation=Relation.USED_FOR_EVE,
+        tail=tail,
+        domain="Sports & Outdoors",
+        behavior="search-buy",
+        plausibility=0.91,
+        typicality=0.55,
+        support=support,
+        head_ids=("p1",),
+    )
+
+
+def test_record_roundtrip():
+    triple = _triple()
+    assert record_to_triple(triple_to_record(triple)) == triple
+
+
+def test_save_load_roundtrip(tmp_path):
+    kg = KnowledgeGraph()
+    kg.add(_triple("camping"))
+    kg.add(_triple("hiking", support=1))
+    path = tmp_path / "kg.jsonl"
+    written = save_kg(kg, path)
+    assert written == 2
+    loaded = load_kg(path)
+    assert len(loaded) == 2
+    assert {t.tail for t in loaded.triples()} == {"camping", "hiking"}
+    original = {t.key: t for t in kg.triples()}
+    for triple in loaded.triples():
+        assert original[triple.key] == triple
+
+
+def test_pipeline_kg_roundtrip(tmp_path, pipeline_result):
+    path = tmp_path / "pipeline_kg.jsonl"
+    save_kg(pipeline_result.kg, path)
+    loaded = load_kg(path)
+    assert loaded.stats() == pipeline_result.kg.stats()
+
+
+def test_load_rejects_wrong_format(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"format": "other"}) + "\n")
+    with pytest.raises(ValueError, match="not a cosmo-kg"):
+        load_kg(path)
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"format": "cosmo-kg", "version": 99, "edges": 0}) + "\n")
+    with pytest.raises(ValueError, match="unsupported version"):
+        load_kg(path)
+
+
+def test_load_rejects_truncated_file(tmp_path):
+    kg = KnowledgeGraph()
+    kg.add(_triple())
+    path = tmp_path / "kg.jsonl"
+    save_kg(kg, path)
+    lines = path.read_text().splitlines()
+    path.write_text(lines[0] + "\n")  # drop the edge line
+    with pytest.raises(ValueError, match="promises"):
+        load_kg(path)
+
+
+def test_load_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_kg(path)

@@ -1,0 +1,83 @@
+"""Property-based invariants of the knowledge-graph container."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kg import KnowledgeGraph
+from repro.core.relations import Relation
+from repro.core.triples import KnowledgeTriple
+
+_relations = st.sampled_from(list(Relation))
+_texts = st.text(alphabet="abcde ", min_size=1, max_size=10).map(str.strip).filter(bool)
+
+
+@st.composite
+def triples(draw):
+    return KnowledgeTriple(
+        head=draw(_texts),
+        relation=draw(_relations),
+        tail=draw(_texts),
+        domain=draw(st.sampled_from(["Electronics", "Pet Supplies"])),
+        behavior=draw(st.sampled_from(["co-buy", "search-buy"])),
+        plausibility=draw(st.floats(0, 1)),
+        typicality=draw(st.floats(0, 1)),
+        support=draw(st.integers(1, 5)),
+    )
+
+
+@given(st.lists(triples(), max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_size_equals_distinct_keys(batch):
+    kg = KnowledgeGraph()
+    kg.extend(batch)
+    assert len(kg) == len({t.key for t in batch})
+
+
+@given(st.lists(triples(), max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_support_is_conserved(batch):
+    kg = KnowledgeGraph()
+    kg.extend(batch)
+    assert sum(t.support for t in kg.triples()) == sum(t.support for t in batch)
+
+
+@given(st.lists(triples(), max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_merge_keeps_max_scores(batch):
+    kg = KnowledgeGraph()
+    kg.extend(batch)
+    best = {}
+    for triple in batch:
+        current = best.get(triple.key, 0.0)
+        best[triple.key] = max(current, triple.plausibility)
+    for triple in kg.triples():
+        assert triple.plausibility == best[triple.key]
+
+
+@given(st.lists(triples(), max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_insertion_order_invariance(batch):
+    forward = KnowledgeGraph()
+    forward.extend(batch)
+    backward = KnowledgeGraph()
+    backward.extend(list(reversed(batch)))
+    assert {t.key: (t.support, t.plausibility) for t in forward.triples()} == {
+        t.key: (t.support, t.plausibility) for t in backward.triples()
+    }
+
+
+@given(st.lists(triples(), max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_stats_consistent_with_contents(batch):
+    kg = KnowledgeGraph()
+    kg.extend(batch)
+    stats = kg.stats()
+    assert stats.edges == len(kg)
+    assert stats.relations == len({t.relation for t in kg.triples()})
+    assert stats.domains == len({t.domain for t in kg.triples()})
+    per_domain_behavior = sum(
+        kg.edges_for(domain, behavior)
+        for domain in ("Electronics", "Pet Supplies")
+        for behavior in ("co-buy", "search-buy")
+    )
+    assert per_domain_behavior == stats.edges

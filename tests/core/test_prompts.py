@@ -1,0 +1,47 @@
+"""QA prompt construction (Figure 3)."""
+
+import pytest
+
+from repro.core.prompts import cobuy_prompt, searchbuy_prompt
+
+
+def test_searchbuy_prompt_contents():
+    prompt = searchbuy_prompt(
+        "winter camping gear", "acme tent", "Sports & Outdoors",
+        product_id="p1", query_id="q1", seed_relation="capableOf",
+    )
+    text = prompt.render()
+    assert "winter camping gear" in text
+    assert "acme tent" in text
+    assert "Sports & Outdoors" in text
+    assert text.rstrip().endswith("1.")  # the list-marker trick
+    assert "capable" in text.lower()
+    assert prompt.behavior == "search-buy"
+    assert prompt.product_ids == ("p1",)
+
+
+def test_cobuy_prompt_contents():
+    prompt = cobuy_prompt(
+        "camera case", "screen protector", "Electronics",
+        product_ids=("p1", "p2"),
+    )
+    text = prompt.render()
+    assert "camera case" in text and "screen protector" in text
+    assert "bought them together because" in text
+    assert prompt.behavior == "co-buy"
+    assert prompt.seed_relation is None
+
+
+def test_default_question_without_seed_relation():
+    prompt = searchbuy_prompt("q", "p", "Electronics", "p1", "q1")
+    assert "Why did the customer" in prompt.render()
+
+
+def test_invalid_seed_relation_rejected():
+    with pytest.raises(ValueError):
+        searchbuy_prompt("q", "p", "Electronics", "p1", "q1", seed_relation="madeUp")
+
+
+def test_head_text_joins_parts():
+    prompt = cobuy_prompt("title a", "title b", "Electronics", ("p1", "p2"))
+    assert prompt.head_text == "title a ||| title b"

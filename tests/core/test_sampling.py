@@ -1,0 +1,114 @@
+"""Behavior sampling (§3.2.1): thresholds, deduplication, heuristics."""
+
+import pytest
+
+from repro.behavior import simulate_cobuy, simulate_searchbuy
+from repro.core.sampling import (
+    SamplingConfig,
+    sample_cobuy,
+    sample_products,
+    sample_searchbuy,
+)
+
+
+@pytest.fixture(scope="module")
+def logs(world):
+    cobuy = simulate_cobuy(world, pairs_per_domain=50, seed=6)
+    searchbuy = simulate_searchbuy(world, records_per_domain=60, seed=6)
+    return cobuy, searchbuy
+
+
+def test_product_sampling_selects_top_fraction(world, logs):
+    cobuy, searchbuy = logs
+    selected = sample_products(world, cobuy, searchbuy, top_fraction=0.5)
+    assert 0 < len(selected) <= len(world.catalog)
+    # Selected products have at least the median interaction volume.
+    for domain in ("Electronics",):
+        products = world.catalog.for_domain(domain)
+        volumes = sorted(
+            cobuy.degree(p.product_id) + searchbuy.product_degree(p.product_id)
+            for p in products
+        )
+        median = volumes[len(volumes) // 2]
+        chosen = [p for p in products if p.product_id in selected]
+        assert all(
+            cobuy.degree(p.product_id) + searchbuy.product_degree(p.product_id) >= 0
+            for p in chosen
+        )
+        top = max(
+            products,
+            key=lambda p: cobuy.degree(p.product_id) + searchbuy.product_degree(p.product_id),
+        )
+        assert top.product_id in selected
+
+
+def test_cobuy_sampling_excludes_same_type_pairs(world, logs):
+    cobuy, searchbuy = logs
+    selected = sample_products(world, cobuy, searchbuy)
+    samples = sample_cobuy(world, cobuy, selected)
+    for sample in samples:
+        type_a = world.catalog.get(sample.product_ids[0]).product_type
+        type_b = world.catalog.get(sample.product_ids[1]).product_type
+        assert type_a != type_b
+
+
+def test_cobuy_sampling_requires_selected_endpoint(world, logs):
+    cobuy, searchbuy = logs
+    selected = sample_products(world, cobuy, searchbuy, top_fraction=0.3)
+    samples = sample_cobuy(world, cobuy, selected)
+    for sample in samples:
+        assert sample.product_ids[0] in selected or sample.product_ids[1] in selected
+
+
+def test_cobuy_sampling_no_duplicate_pairs(world, logs):
+    cobuy, searchbuy = logs
+    selected = sample_products(world, cobuy, searchbuy)
+    samples = sample_cobuy(world, cobuy, selected)
+    keys = [(s.product_ids, world.catalog.get(s.product_ids[0]).product_type) for s in samples]
+    assert len(keys) == len(set(keys))
+
+
+def test_singleton_type_pairs_are_dropped(world, logs):
+    cobuy, searchbuy = logs
+    selected = sample_products(world, cobuy, searchbuy)
+    strict = sample_cobuy(
+        world, cobuy, selected, SamplingConfig(min_type_pair_count=3)
+    )
+    loose = sample_cobuy(
+        world, cobuy, selected, SamplingConfig(min_type_pair_count=1)
+    )
+    assert len(strict) <= len(loose)
+
+
+def test_searchbuy_sampling_engagement_thresholds(world, logs):
+    _, searchbuy = logs
+    config = SamplingConfig(min_clicks=3, min_purchase_rate=0.3,
+                            low_engagement_fraction=0.0)
+    samples = sample_searchbuy(world, searchbuy, config)
+    for sample in samples:
+        clicks, _ = searchbuy.query_engagement(sample.query_id)
+        assert clicks >= 3
+        assert searchbuy.purchase_rate(sample.query_id) >= 0.3
+
+
+def test_searchbuy_low_engagement_slice(world, logs):
+    _, searchbuy = logs
+    # An impossible purchase-rate threshold disables the engaged path,
+    # leaving only the low-engagement slice.
+    none_kept = sample_searchbuy(
+        world, searchbuy,
+        SamplingConfig(min_purchase_rate=2.0, low_engagement_fraction=0.0),
+    )
+    some_kept = sample_searchbuy(
+        world, searchbuy,
+        SamplingConfig(min_purchase_rate=2.0, low_engagement_fraction=0.2),
+    )
+    assert len(none_kept) == 0
+    assert len(some_kept) > 0
+
+
+def test_searchbuy_samples_are_unique_pairs(world, logs):
+    _, searchbuy = logs
+    samples = sample_searchbuy(world, searchbuy)
+    keys = [(s.query_id, s.product_ids[0]) for s in samples]
+    assert len(keys) == len(set(keys))

@@ -1,0 +1,42 @@
+"""Latency model and generation records."""
+
+import pytest
+
+from repro.llm import Generation, GenerationTruth, LatencyModel
+
+
+def test_latency_scales_with_parameters_and_tokens():
+    model = LatencyModel()
+    small = model.charge(parameter_count=10_000_000, tokens=10)
+    large = model.charge(parameter_count=30_000_000_000, tokens=10)
+    assert large > small * 100
+
+
+def test_latency_accumulates_and_resets():
+    model = LatencyModel()
+    model.charge(1_000_000_000, 5)
+    model.charge(1_000_000_000, 5)
+    assert model.total_simulated_s > 0
+    model.reset()
+    assert model.total_simulated_s == 0.0
+
+
+def test_latency_overhead_floor():
+    model = LatencyModel(overhead_s=0.002)
+    tiny = model.charge(parameter_count=1, tokens=1)
+    assert tiny >= 0.002
+
+
+def test_30b_model_costs_seconds_per_generation():
+    model = LatencyModel()
+    latency = model.charge(parameter_count=30_000_000_000, tokens=10)
+    # The regime that makes direct online serving infeasible (§1).
+    assert latency > 1.0
+
+
+def test_generation_records_are_frozen():
+    generation = Generation(text="x", tokens=1, latency_s=0.1,
+                            truth=GenerationTruth(quality="typical"))
+    with pytest.raises(AttributeError):
+        generation.text = "y"
+    assert generation.truth.quality == "typical"

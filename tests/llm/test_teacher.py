@@ -1,0 +1,95 @@
+"""Teacher LLM: quality mix, oracle consistency, latency accounting."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.generation import build_prompt
+from repro.core.relations import parse_predicate
+from repro.core.sampling import sample_cobuy, sample_products, sample_searchbuy
+from repro.behavior import simulate_cobuy, simulate_searchbuy
+from repro.llm import TeacherLLM
+
+
+@pytest.fixture(scope="module")
+def setup(world):
+    cobuy = simulate_cobuy(world, pairs_per_domain=40, seed=2)
+    searchbuy = simulate_searchbuy(world, records_per_domain=50, seed=2)
+    selected = sample_products(world, cobuy, searchbuy)
+    samples = sample_cobuy(world, cobuy, selected) + sample_searchbuy(world, searchbuy)
+    teacher = TeacherLLM(world, seed=2)
+    return teacher, samples
+
+
+def _generate(world, teacher, samples, behavior, n=150):
+    picked = [s for s in samples if s.behavior == behavior][:n]
+    outputs = []
+    for sample in picked:
+        prompt = build_prompt(world, sample)
+        outputs.extend(teacher.generate_for(prompt, num_candidates=2))
+    return outputs
+
+
+def test_quality_mix_shape(world, setup):
+    teacher, samples = setup
+    sb = _generate(world, teacher, samples, "search-buy")
+    cb = _generate(world, teacher, samples, "co-buy")
+    sb_typical = sum(g.truth.quality == "typical" for g in sb) / len(sb)
+    cb_typical = sum(g.truth.quality == "typical" for g in cb) / len(cb)
+    # Table 4 shape: search-buy notably more typical than co-buy.
+    assert sb_typical > cb_typical
+    assert 0.12 < sb_typical < 0.5
+
+
+def test_typical_generations_verbalize_the_true_intent(world, setup):
+    teacher, samples = setup
+    for generation in _generate(world, teacher, samples, "search-buy"):
+        if generation.truth.quality != "typical":
+            continue
+        parsed = parse_predicate(generation.text)
+        assert parsed is not None
+        _, tail = parsed
+        intent = world.intents.get(generation.truth.intent_id)
+        assert tail.lower() == intent.tail.lower()
+
+
+def test_implausible_comes_from_foreign_domain(world, setup):
+    teacher, samples = setup
+    for generation in _generate(world, teacher, samples, "co-buy"):
+        if generation.truth.quality != "implausible":
+            continue
+        intent = world.intents.get(generation.truth.intent_id)
+        # The sample's domain differs from the knowledge's domain.
+        assert intent.domain != "__none__"
+
+
+def test_incomplete_generations_lack_terminal_period(world, setup):
+    teacher, samples = setup
+    incompletes = [
+        g for g in _generate(world, teacher, samples, "search-buy")
+        if g.truth.quality == "incomplete"
+    ]
+    assert incompletes
+    for generation in incompletes:
+        assert not generation.text.endswith(".")
+
+
+def test_latency_accumulates(world, setup):
+    teacher, samples = setup
+    before = teacher.latency.total_simulated_s
+    outputs = _generate(world, teacher, samples, "search-buy", n=5)
+    assert teacher.latency.total_simulated_s > before
+    for generation in outputs:
+        assert generation.latency_s > 0
+        assert generation.tokens >= 1
+
+
+def test_quality_classes_are_known(world, setup):
+    from repro.annotation.schema import TRUTH_TABLE
+
+    teacher, samples = setup
+    qualities = Counter(
+        g.truth.quality
+        for g in _generate(world, teacher, samples, "co-buy")
+    )
+    assert set(qualities) <= set(TRUTH_TABLE)

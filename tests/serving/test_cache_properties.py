@@ -1,0 +1,56 @@
+"""Property-based invariants of the two-layer cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import AsyncCacheStore, SimClock
+
+_queries = st.sampled_from([f"q{i}" for i in range(12)])
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 40))):
+        kind = draw(st.sampled_from(["lookup", "batch", "day", "preload"]))
+        if kind in ("lookup", "preload"):
+            ops.append((kind, draw(_queries)))
+        else:
+            ops.append((kind, None))
+    return ops
+
+
+@given(operations())
+@settings(max_examples=80, deadline=None)
+def test_cache_invariants_under_arbitrary_operations(ops):
+    clock = SimClock()
+    cache = AsyncCacheStore(clock)
+    lookups = 0
+    for kind, query in ops:
+        if kind == "lookup":
+            cache.lookup(query)
+            lookups += 1
+        elif kind == "preload":
+            cache.preload_yearly({query: "answer"})
+        elif kind == "batch":
+            cache.apply_batch({q: "answer" for q in cache.pending_queries()})
+        elif kind == "day":
+            clock.advance_days(1)
+    stats = cache.stats
+    # Accounting: every lookup is exactly one of hit or miss.
+    assert stats.layer1_hits + stats.layer2_hits + stats.misses == lookups
+    assert 0.0 <= stats.hit_rate <= 1.0
+    # A batched query is no longer pending.
+    cache.apply_batch({q: "a" for q in cache.pending_queries()})
+    assert cache.pending_queries() == []
+
+
+@given(st.lists(_queries, min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_second_lookup_after_batch_always_hits(queries):
+    cache = AsyncCacheStore(SimClock())
+    for query in queries:
+        cache.lookup(query)
+    cache.apply_batch({q: "answer" for q in cache.pending_queries()})
+    for query in queries:
+        assert cache.lookup(query) == "answer"

@@ -1,0 +1,238 @@
+"""Serving substrate: clock, two-layer cache, feature store, service flow."""
+
+import numpy as np
+import pytest
+
+from repro.llm.interface import Generation, LatencyModel
+from repro.serving import AsyncCacheStore, CosmoService, FeatureStore, SimClock
+
+
+class FakeGenerator:
+    """Deterministic stand-in for COSMO-LM in serving tests."""
+
+    def __init__(self):
+        self.latency = LatencyModel()
+        self.parameter_count = 1_000_000
+        self.calls = 0
+
+    def generate_knowledge(self, prompts):
+        self.calls += 1
+        outputs = []
+        for prompt in prompts:
+            latency = self.latency.charge(self.parameter_count, 8)
+            outputs.append(
+                Generation(text=f"it is used for {prompt}.", tokens=8, latency_s=latency)
+            )
+        return outputs
+
+
+# -- clock ---------------------------------------------------------------
+def test_clock_advances_and_days():
+    clock = SimClock()
+    assert clock.day == 0
+    clock.advance_days(1.5)
+    assert clock.day == 1
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+# -- cache ---------------------------------------------------------------
+def test_cache_layers_and_pending_queue():
+    clock = SimClock()
+    cache = AsyncCacheStore(clock)
+    cache.preload_yearly({"hot query": "yearly answer"})
+    assert cache.lookup("hot query") == "yearly answer"
+    assert cache.stats.layer1_hits == 1
+    assert cache.lookup("cold query") is None
+    assert cache.stats.misses == 1
+    assert cache.pending_queries() == ["cold query"]
+    cache.apply_batch({"cold query": "batched answer"})
+    assert cache.lookup("cold query") == "batched answer"
+    assert cache.stats.layer2_hits == 1
+    assert cache.pending_queries() == []
+
+
+def test_daily_layer_resets_on_day_rollover():
+    clock = SimClock()
+    cache = AsyncCacheStore(clock)
+    cache.lookup("q")
+    cache.apply_batch({"q": "answer"})
+    assert cache.daily_size == 1
+    clock.advance_days(1)
+    assert cache.lookup("q") is None  # daily layer cleared
+    assert cache.daily_size == 0
+
+
+def test_daily_capacity_respected():
+    cache = AsyncCacheStore(SimClock(), daily_capacity=2)
+    installed = cache.apply_batch({f"q{i}": "a" for i in range(5)})
+    assert installed == 2
+    assert cache.daily_size == 2
+
+
+def test_promote_frequent_moves_hot_entries_to_yearly():
+    cache = AsyncCacheStore(SimClock())
+    for _ in range(12):
+        cache.lookup("popular")
+    cache.apply_batch({"popular": "answer"})
+    promoted = cache.promote_frequent(min_requests=10)
+    assert promoted == 1
+    assert cache.yearly_size == 1
+
+
+def test_hit_rate():
+    cache = AsyncCacheStore(SimClock())
+    cache.preload_yearly({"a": "1"})
+    cache.lookup("a")
+    cache.lookup("b")
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+# -- feature store ---------------------------------------------------------
+def test_feature_store_structures_responses():
+    clock = SimClock()
+    store = FeatureStore(clock)
+    record = store.put("camping gear", "it can be used when they winter camping.")
+    assert record.relation == "USED_FOR_EVE"
+    assert record.tail == "winter camping"
+    assert record.strong_intent
+    assert store.get("camping gear") is record
+
+
+def test_feature_store_unparseable_response():
+    store = FeatureStore(SimClock())
+    record = store.put("q", "nonsense text")
+    assert record.relation is None
+    assert not record.strong_intent
+
+
+def test_feature_store_staleness():
+    clock = SimClock()
+    store = FeatureStore(clock)
+    store.put("old", "it is used for camping.")
+    clock.advance_days(3)
+    store.put("fresh", "it is used for hiking.")
+    assert store.stale_keys(max_age_days=1) == ["old"]
+
+
+# -- full service flow -------------------------------------------------------
+def test_request_miss_then_batch_then_hit():
+    generator = FakeGenerator()
+    service = CosmoService(generator, fallback_response="(no knowledge yet)")
+    first = service.handle_request("camping tent")
+    assert first == "(no knowledge yet)"
+    assert service.metrics.fallbacks == 1
+    installed = service.run_batch()
+    assert installed == 1
+    assert len(service.features) == 1
+    second = service.handle_request("camping tent")
+    assert "camping tent" in second
+
+
+def test_cached_latency_far_below_direct():
+    generator = FakeGenerator()
+    service = CosmoService(generator)
+    direct = service.handle_request_direct("q1")
+    assert direct
+    service.run_batch()
+    cached_latencies = []
+    service.handle_request("q1")
+    # The direct call is the first latency; cache lookups are the rest.
+    direct_latency = service.metrics.request_latencies_s[0]
+    cache_latency = service.metrics.request_latencies_s[-1]
+    assert cache_latency < direct_latency
+
+
+def test_daily_refresh_promotes_and_refreshes():
+    generator = FakeGenerator()
+    service = CosmoService(generator)
+    for _ in range(12):
+        service.handle_request("hot")
+    service.run_batch()
+    service.clock.advance_days(2)  # make the feature stale
+    report = service.daily_refresh()
+    assert report["refreshed"] == 1
+    assert service.clock.day >= 3
+
+
+def test_percentiles_monotone():
+    generator = FakeGenerator()
+    service = CosmoService(generator)
+    for i in range(20):
+        service.handle_request(f"q{i}")
+    assert service.metrics.p50 <= service.metrics.p99
+
+
+# -- feedback loop ------------------------------------------------------------
+def test_feedback_loop_on_plain_generator_is_ignored():
+    service = CosmoService(FakeGenerator())
+    service.record_feedback("q", "it is used for x.", helpful=True)
+    assert service.pending_feedback == 1
+    assert service.apply_feedback() == 0
+    assert service.pending_feedback == 0
+
+
+def test_feedback_loop_finetunes_cosmo_classifier():
+    from repro.behavior import WorldConfig
+    from repro.core import CosmoLMConfig, CosmoPipeline, PipelineConfig
+
+    result = CosmoPipeline(PipelineConfig(
+        seed=51,
+        world=WorldConfig(seed=51, products_per_domain=12,
+                          broad_queries_per_domain=6, specific_queries_per_domain=6),
+        cobuy_pairs_per_domain=12,
+        searchbuy_records_per_domain=15,
+        annotation_budget=120,
+        lm=CosmoLMConfig(epochs=3, hidden_dim=48),
+        expand_with_lm=False,
+    )).run()
+    lm = result.cosmo_lm
+    service = CosmoService(lm)
+    # Teach the judge that a specific knowledge string is unhelpful.
+    for _ in range(30):
+        service.record_feedback("some query", "it is used for zzzz", helpful=False)
+    consumed = service.apply_feedback(epochs=3)
+    assert consumed == 30
+    prediction = lm.predict_typicality(
+        "domain: X search query: some query type: thing task: generation",
+        "it is used for zzzz",
+    )
+    assert prediction == "no"
+
+
+def test_run_batch_respects_max_queries():
+    service = CosmoService(FakeGenerator())
+    for i in range(10):
+        service.handle_request(f"q{i}")
+    installed = service.run_batch(max_queries=4)
+    assert installed == 4
+    assert len(service.cache.pending_queries()) == 6
+
+
+def test_run_batch_with_no_pending_is_noop():
+    service = CosmoService(FakeGenerator())
+    assert service.run_batch() == 0
+    assert service.metrics.batch_runs == 0
+
+
+def test_flash_sale_staleness_mechanism():
+    """Unit-level version of the §3.5.3 limitation bench."""
+
+    class Stateful(FakeGenerator):
+        mode = "before"
+
+        def generate_knowledge(self, prompts):
+            outs = super().generate_knowledge(prompts)
+            return [Generation(text=f"{o.text} {self.mode}", tokens=o.tokens,
+                               latency_s=o.latency_s) for o in outs]
+
+    generator = Stateful()
+    service = CosmoService(generator)
+    service.handle_request("deal")
+    service.run_batch()
+    generator.mode = "after"  # the world changed
+    assert "before" in service.handle_request("deal")  # stale until refresh
+    service.clock.advance_days(1)
+    assert service.handle_request("deal") == ""  # daily layer cleared
+    service.run_batch()
+    assert "after" in service.handle_request("deal")

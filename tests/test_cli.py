@@ -1,0 +1,41 @@
+"""CLI: argument parsing and the KG build/inspect flow."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.kg_io import load_kg
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_build_kg_writes_file(tmp_path, capsys):
+    out = tmp_path / "kg.jsonl"
+    code = main([
+        "build-kg", "--seed", "3", "--scale", "0.12",
+        "--lm-epochs", "1", "--out", str(out),
+    ])
+    assert code == 0
+    assert out.exists()
+    kg = load_kg(out)
+    assert len(kg) > 0
+    captured = capsys.readouterr().out
+    assert "nodes" in captured and "Annotated quality" in captured
+
+
+def test_inspect_kg(tmp_path, capsys):
+    out = tmp_path / "kg.jsonl"
+    main(["build-kg", "--seed", "3", "--scale", "0.12", "--lm-epochs", "1",
+          "--out", str(out)])
+    capsys.readouterr()
+    code = main(["inspect-kg", str(out), "--sample", "2"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Edges per domain" in captured
+
+
+def test_generate_requires_arguments():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["generate", "--query", "x"])  # missing required

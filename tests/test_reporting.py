@@ -1,0 +1,37 @@
+"""Table renderer."""
+
+import pytest
+
+from repro.reporting import Table, format_float, format_percent
+
+
+def test_formatters():
+    assert format_float(3.14159, 2) == "3.14"
+    assert format_percent(0.075) == "7.5%"
+
+
+def test_table_renders_aligned_columns():
+    table = Table("Demo", ["Method", "Score"])
+    table.add_row("short", 1.0)
+    table.add_row("a much longer method name", 2.5)
+    rendered = table.render()
+    lines = rendered.splitlines()
+    assert lines[0] == "Demo"
+    data_lines = [l for l in lines if "|" in l]
+    widths = {len(line) for line in data_lines}
+    assert len(widths) == 1  # all rows padded to equal width
+
+
+def test_table_separator_rows():
+    table = Table("T", ["A", "B"])
+    table.add_row("x", "y")
+    table.add_separator()
+    table.add_row("z", "w")
+    rendered = table.render()
+    assert rendered.count("-+-") >= 2
+
+
+def test_row_arity_checked():
+    table = Table("T", ["A", "B"])
+    with pytest.raises(ValueError):
+        table.add_row("only one")
