@@ -1,0 +1,106 @@
+"""Resilience ablation: chaos bench for the fault-tolerant serving stack.
+
+Sweeps injected fault rates over identical Zipf traffic and compares the
+serving stack with resilience (retry + circuit breaker + output
+validation + graceful degradation + dead-letter redrive) against the
+happy-path-only baseline.  Availability here is *truthful*: a request
+counts as available only when the served text matches the knowledge the
+scripted generator would produce — garbage and empty fallbacks both
+count against it.
+
+A second scenario scripts a sustained total outage and verifies the
+breaker's full life cycle (closed → open → half-open → closed) with all
+waiting charged to the simulated clock.
+"""
+
+import pytest
+from conftest import publish
+
+from repro.reporting import Table, format_percent
+from repro.serving.chaos import ChaosConfig, run_chaos, run_outage_demo
+from repro.serving.resilience import BreakerState
+
+FAULT_RATES = (0.0, 0.05, 0.10, 0.25)
+
+
+@pytest.fixture(scope="module")
+def chaos_sweep():
+    reports = {}
+    for rate in FAULT_RATES:
+        for resilience in (True, False):
+            config = ChaosConfig(fault_rate=rate, resilience=resilience, seed=7)
+            reports[(rate, resilience)] = run_chaos(config)
+    return reports
+
+
+def test_resilience_ablation(chaos_sweep, benchmark):
+    table = Table(
+        "Resilience ablation — identical Zipf traffic, mixed fault injection",
+        ["Fault rate", "Arm", "Availability", "Degraded", "Fallbacks",
+         "Retries", "DLQ", "p50", "p99"],
+    )
+    for rate in FAULT_RATES:
+        for resilience in (True, False):
+            report = chaos_sweep[(rate, resilience)]
+            table.add_row(
+                format_percent(rate),
+                "resilient" if resilience else "baseline",
+                format_percent(report.availability),
+                report.degraded,
+                report.fallbacks,
+                report.retries,
+                report.dead_lettered,
+                f"{report.percentile_ms(50):.1f} ms",
+                f"{report.percentile_ms(99):.1f} ms",
+            )
+    publish("ablation_resilience", table.render())
+
+    # Benchmark kernel: one full chaos run at the headline fault rate.
+    benchmark(run_chaos, ChaosConfig(fault_rate=0.10, resilience=True, seed=7,
+                                     requests_per_day=300, days=1))
+
+    # The paper-shaped claims: resilience holds >= 99% availability at a
+    # 10% fault rate while the baseline measurably degrades, and the gap
+    # widens with the fault rate.
+    resilient = chaos_sweep[(0.10, True)]
+    baseline = chaos_sweep[(0.10, False)]
+    assert resilient.availability >= 0.99
+    assert baseline.availability < resilient.availability - 0.005
+    assert resilient.retries > 0
+    assert chaos_sweep[(0.25, False)].availability < baseline.availability
+    # Resilience never hurts when nothing fails.
+    assert chaos_sweep[(0.0, True)].availability >= chaos_sweep[(0.0, False)].availability
+
+
+def test_chaos_runs_are_deterministic():
+    config = ChaosConfig(fault_rate=0.10, resilience=True, seed=11,
+                         requests_per_day=600, days=1)
+    first, second = run_chaos(config), run_chaos(config)
+    assert first.availability == second.availability
+    assert first.latencies_s == second.latencies_s
+    assert (first.retries, first.dead_lettered, first.rejected_generations) == (
+        second.retries, second.dead_lettered, second.rejected_generations)
+
+
+def test_breaker_opens_and_recovers_under_sustained_outage():
+    service, phases = run_outage_demo(seed=7)
+    breaker = service.breaker
+    # The breaker tripped during the outage and recovered through
+    # half-open probes once the faults cleared.
+    assert breaker.opens >= 1
+    assert breaker.closes >= 1
+    assert breaker.refusals >= 1
+    assert breaker.state is BreakerState.CLOSED
+    states = [state for _, state in breaker.transitions]
+    assert BreakerState.OPEN in states
+    assert states[-1] is BreakerState.CLOSED
+    assert states.index(BreakerState.OPEN) < len(states) - 1
+    # Graceful degradation held availability through the outage, and the
+    # dead-letter queue healed afterwards.
+    assert phases["outage"] >= 0.99
+    assert phases["recovery"] >= 0.99
+    assert service.metrics.dead_lettered > 0
+    assert service.metrics.redriven == service.metrics.dead_lettered
+    # All waiting was simulated: days of traffic plus breaker cooldowns
+    # elapsed on the SimClock.
+    assert service.clock.now() > 3 * 86_400

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli inspect-kg kg.jsonl
     python -m repro.cli generate --seed 7 --query "winter camping essentials" \
         --product-type "camping tent" --domain "Sports & Outdoors"
+    python -m repro.cli chaos --seed 7 --fault-rate 0.1
 """
 
 from __future__ import annotations
@@ -79,6 +80,52 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.serving.chaos import ChaosConfig, run_chaos, run_outage_demo
+
+    if args.outage_demo:
+        service, phases = run_outage_demo(seed=args.seed)
+        print("Sustained-outage demo (availability per phase):")
+        for name, availability in phases.items():
+            print(f"  {name:9s} {availability:.1%}")
+        breaker = service.breaker
+        print(f"  breaker: {breaker.opens} open(s), {breaker.closes} close(s), "
+              f"{breaker.refusals} fast refusal(s), final state {breaker.state.value}")
+        print(f"  dead-lettered {service.metrics.dead_lettered}, "
+              f"redriven {service.metrics.redriven}")
+        return 0
+
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print(f"error: --fault-rate must be in [0, 1], got {args.fault_rate}")
+        return 2
+    config = ChaosConfig(
+        fault_rate=args.fault_rate,
+        resilience=not args.no_resilience,
+        seed=args.seed,
+        requests_per_day=args.requests_per_day,
+        days=args.days,
+    )
+    arm = "on" if config.resilience else "off"
+    print(f"Chaos simulation: fault rate {config.fault_rate:.0%}, resilience {arm}, "
+          f"{config.days} measured day(s) of {config.requests_per_day} requests...")
+    report = run_chaos(config)
+    table = Table("Chaos simulation — measured window", ["Metric", "Value"])
+    table.add_row("Requests", report.requests)
+    table.add_row("Availability (valid knowledge)", format_percent(report.availability))
+    table.add_row("Served (fresh + degraded)", format_percent(report.served_availability))
+    table.add_row("Degraded serves", report.degraded)
+    table.add_row("Fallbacks", report.fallbacks)
+    table.add_row("Retries", report.retries)
+    table.add_row("Generator failures", report.generator_failures)
+    table.add_row("Rejected generations", report.rejected_generations)
+    table.add_row("Dead-lettered / redriven", f"{report.dead_lettered} / {report.redriven}")
+    table.add_row("Breaker opens / closes", f"{report.breaker_opens} / {report.breaker_closes}")
+    table.add_row("p50 / p99 latency", f"{report.percentile_ms(50):.1f} / "
+                  f"{report.percentile_ms(99):.1f} ms")
+    print(table.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -106,6 +153,20 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--product-title", default="")
     generate.add_argument("--domain", required=True)
     generate.set_defaults(func=cmd_generate)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injected serving simulation (resilience ablation)")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--fault-rate", type=float, default=0.1,
+                       help="headline injected fault rate (see FaultPlan.mixed)")
+    chaos.add_argument("--no-resilience", action="store_true",
+                       help="disable retries, circuit breaker and degraded serving")
+    chaos.add_argument("--requests-per-day", type=int, default=1500)
+    chaos.add_argument("--days", type=int, default=2,
+                       help="measured days of traffic (after one warmup day)")
+    chaos.add_argument("--outage-demo", action="store_true",
+                       help="also run the scripted sustained-outage scenario")
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

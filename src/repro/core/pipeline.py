@@ -34,6 +34,7 @@ from repro.core.triples import BehaviorSample, KnowledgeCandidate, KnowledgeTrip
 from repro.embeddings.encoder import TextEncoder
 from repro.llm.interface import LatencyModel
 from repro.llm.teacher import TeacherLLM
+from repro.utils.rng import spawn_rng
 
 __all__ = ["PipelineConfig", "PipelineResult", "CosmoPipeline"]
 
@@ -153,13 +154,18 @@ class CosmoPipeline:
         audit = audit_annotations(annotations, qualities, seed=cfg.seed)
         quality_ratios = self._quality_ratios(annotated_candidates, annotations)
 
-        # 6. Critic training and population (§3.3.2).
+        # 6. Critic training and population (§3.3.2).  ``annotated_candidates``
+        # is ordered co-buy-then-search-buy, so a positional 85/15 split would
+        # evaluate on a single behavior; shuffle with the run seed first.
         critic = CriticClassifier(encoder, config=cfg.critic, seed=cfg.seed)
-        split = max(1, int(len(annotated_candidates) * 0.85))
-        critic.fit(annotated_candidates[:split], annotations[:split])
-        if split < len(annotated_candidates):
+        order = spawn_rng(cfg.seed, "critic-split").permutation(len(annotated_candidates))
+        shuffled_candidates = [annotated_candidates[i] for i in order]
+        shuffled_annotations = [annotations[i] for i in order]
+        split = max(1, int(len(shuffled_candidates) * 0.85))
+        critic.fit(shuffled_candidates[:split], shuffled_annotations[:split])
+        if split < len(shuffled_candidates):
             critic_accuracy = critic.accuracy(
-                annotated_candidates[split:], annotations[split:]
+                shuffled_candidates[split:], shuffled_annotations[split:]
             )
         else:
             critic_accuracy = {"plausibility": float("nan"), "typicality": float("nan")}
@@ -255,7 +261,6 @@ class CosmoPipeline:
             prompts = [cosmo_lm.prompt_for_sample(world, s) for s in batch]
             generations = cosmo_lm.generate_knowledge(prompts)
             candidates = []
-            keep_samples = []
             for sample, generation in zip(batch, generations):
                 parsed = parse_predicate(generation.text)
                 if parsed is None:
@@ -270,7 +275,6 @@ class CosmoPipeline:
                         tail=tail,
                     )
                 )
-                keep_samples.append(sample)
             kept = critic.populate(candidates)
             triples.extend(self._to_triple(c) for c in kept)
         return triples

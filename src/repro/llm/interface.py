@@ -71,5 +71,10 @@ class LatencyModel:
         self.total_simulated_s += latency
         return latency
 
+    def charge_seconds(self, seconds: float) -> float:
+        """Account for a fixed simulated delay (timeouts, stalls, slowdowns)."""
+        self.total_simulated_s += seconds
+        return seconds
+
     def reset(self) -> None:
         self.total_simulated_s = 0.0

@@ -2,8 +2,25 @@
 
 from repro.serving.cache import AsyncCacheStore, CacheStats
 from repro.serving.clock import SimClock
-from repro.serving.deployment import CosmoService, ServingMetrics
+from repro.serving.deployment import CosmoService, DeadLetter, ServingMetrics
+from repro.serving.faults import (
+    FaultInjector,
+    FaultPlan,
+    FlakyGenerator,
+    GeneratorError,
+    GeneratorFault,
+    GeneratorTimeout,
+)
 from repro.serving.feature_store import FeatureRecord, FeatureStore
+from repro.serving.resilience import (
+    BatchOutcome,
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientGenerator,
+    RetriesExhausted,
+    RetryPolicy,
+)
 
 __all__ = [
     "SimClock",
@@ -13,4 +30,18 @@ __all__ = [
     "FeatureRecord",
     "CosmoService",
     "ServingMetrics",
+    "DeadLetter",
+    "FaultPlan",
+    "FaultInjector",
+    "FlakyGenerator",
+    "GeneratorFault",
+    "GeneratorError",
+    "GeneratorTimeout",
+    "RetryPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetriesExhausted",
+    "BatchOutcome",
+    "ResilientGenerator",
 ]

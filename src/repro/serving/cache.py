@@ -25,6 +25,7 @@ class CacheStats:
     layer1_hits: int = 0
     layer2_hits: int = 0
     misses: int = 0
+    pending_evictions: int = 0
 
     @property
     def requests(self) -> int:
@@ -40,13 +41,21 @@ class CacheStats:
 class AsyncCacheStore:
     """Pre-loaded yearly layer + batch-updated daily layer + miss queue."""
 
-    def __init__(self, clock: SimClock, daily_capacity: int = 10_000):
+    def __init__(
+        self,
+        clock: SimClock,
+        daily_capacity: int = 10_000,
+        pending_capacity: int = 50_000,
+        pending_max_age_days: int = 3,
+    ):
         self._clock = clock
         self._yearly: dict[str, str] = {}
         self._daily: dict[str, str] = {}
         self._daily_day: int = clock.day
         self._daily_capacity = daily_capacity
         self._pending: dict[str, int] = {}  # query → enqueue day
+        self._pending_capacity = pending_capacity
+        self._pending_max_age_days = pending_max_age_days
         self.stats = CacheStats()
         self.request_log: Counter = Counter()
 
@@ -66,14 +75,32 @@ class AsyncCacheStore:
             self.stats.layer2_hits += 1
             return self._daily[query]
         self.stats.misses += 1
-        self._pending.setdefault(query, self._clock.day)
+        if query not in self._pending:
+            if len(self._pending) >= self._pending_capacity:
+                oldest = min(self._pending, key=self._pending.get)
+                del self._pending[oldest]
+                self.stats.pending_evictions += 1
+            self._pending[query] = self._clock.day
         return None
 
     def _roll_daily_layer(self) -> None:
-        """Daily layer resets when the simulated day rolls over."""
+        """Daily layer resets when the simulated day rolls over; pending
+        entries nothing ever batch-processed are aged out rather than
+        accumulating forever."""
         if self._clock.day != self._daily_day:
             self._daily.clear()
             self._daily_day = self._clock.day
+            self._evict_stale_pending()
+
+    def _evict_stale_pending(self) -> None:
+        today = self._clock.day
+        stale = [
+            query for query, day in self._pending.items()
+            if today - day > self._pending_max_age_days
+        ]
+        for query in stale:
+            del self._pending[query]
+            self.stats.pending_evictions += 1
 
     # ------------------------------------------------------------------
     def pending_queries(self) -> list[str]:
@@ -92,6 +119,14 @@ class AsyncCacheStore:
             installed += 1
         return installed
 
+    def drop_pending(self, queries: list[str]) -> int:
+        """Remove queries from the pending queue (e.g. dead-lettered)."""
+        dropped = 0
+        for query in queries:
+            if self._pending.pop(query, None) is not None:
+                dropped += 1
+        return dropped
+
     def promote_frequent(self, min_requests: int = 10) -> int:
         """Move hot daily entries into the yearly layer (traffic adaption)."""
         promoted = 0
@@ -108,3 +143,7 @@ class AsyncCacheStore:
     @property
     def daily_size(self) -> int:
         return len(self._daily)
+
+    @property
+    def pending_size(self) -> int:
+        return len(self._pending)

@@ -4,13 +4,23 @@ Ties together the model (COSMO-LM), the two-layer asynchronous cache
 store and the feature store, with simulated latency accounting:
 
 * **request handling** — queries first hit the cache; hits return at
-  cache latency, misses are enqueued and return a fallback;
+  cache latency, misses are enqueued and fall through the degradation
+  chain (stale feature-store entry → last known good response →
+  fallback);
 * **batch processing** — pending queries are answered by the model in
-  bulk and written through the feature store into the daily cache layer;
+  bulk through the resilience layer (retry + circuit breaker + output
+  validation); queries that exhaust their retry budget land in a
+  dead-letter queue;
 * **daily refresh** — session logs feed back into the model (the
-  feedback loop) and stale features are recomputed;
+  feedback loop), stale features are recomputed, and the dead-letter
+  queue is re-driven;
 * **latency accounting** — every request is charged simulated seconds so
-  p50/p99 and the cached-vs-direct-LLM comparison are measurable.
+  p50/p99, availability and the cached-vs-direct-LLM comparison are
+  measurable.
+
+Resilience is on by default; pass ``resilience=False`` for the original
+happy-path-only service (no retries, no breaker, no degraded serving) —
+the baseline arm of ``benchmarks/bench_ablation_resilience.py``.
 """
 
 from __future__ import annotations
@@ -21,21 +31,61 @@ import numpy as np
 
 from repro.serving.cache import AsyncCacheStore
 from repro.serving.clock import SimClock
+from repro.serving.faults import GeneratorFault
 from repro.serving.feature_store import FeatureStore
+from repro.serving.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientGenerator,
+    RetriesExhausted,
+    RetryPolicy,
+)
 
-__all__ = ["ServingMetrics", "CosmoService"]
+__all__ = ["ServingMetrics", "DeadLetter", "CosmoService"]
 
 _CACHE_LATENCY_S = 0.002
+_DEGRADED_LATENCY_S = 0.004
 
 
 @dataclass
 class ServingMetrics:
-    """Latency and throughput accounting for the service."""
+    """Latency, throughput and availability accounting for the service.
+
+    Every request is counted exactly once as fresh, degraded, or a
+    fallback, so ``served_fresh + degraded_serves + fallbacks ==
+    requests`` always holds (the chaos property tests rely on it).
+    """
 
     request_latencies_s: list[float] = field(default_factory=list)
     batch_runs: int = 0
     batch_queries_processed: int = 0
+    served_fresh: int = 0
+    degraded_serves: int = 0
     fallbacks: int = 0
+    retries: int = 0
+    generator_failures: int = 0
+    rejected_generations: int = 0
+    breaker_refusals: int = 0
+    dead_lettered: int = 0
+    redriven: int = 0
+    backoff_wait_s: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.served_fresh + self.degraded_serves + self.fallbacks
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered with knowledge (fresh or degraded)."""
+        if self.requests == 0:
+            return 1.0
+        return (self.served_fresh + self.degraded_serves) / self.requests
+
+    @property
+    def fallback_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.fallbacks / self.requests
 
     def percentile(self, q: float) -> float:
         if not self.request_latencies_s:
@@ -51,6 +101,16 @@ class ServingMetrics:
         return self.percentile(99)
 
 
+@dataclass
+class DeadLetter:
+    """One query whose batch processing exhausted its retry budget."""
+
+    query: str
+    day: int
+    attempts: int
+    reason: str
+
+
 class CosmoService:
     """Online serving wrapper around any batched knowledge generator.
 
@@ -58,6 +118,11 @@ class CosmoService:
     [Generation]`` and a ``latency`` :class:`LatencyModel` — both
     :class:`~repro.core.cosmo_lm.CosmoLM` and a raw teacher adapter
     qualify, so the serving bench can compare the two deployments.
+
+    With ``resilience=True`` (the default) generator calls go through a
+    :class:`~repro.serving.resilience.ResilientGenerator` (``retry`` /
+    ``breaker`` / ``response_validator`` configure it) and cache misses
+    degrade gracefully instead of silently returning the fallback.
     """
 
     def __init__(
@@ -67,58 +132,212 @@ class CosmoService:
         prompt_builder=None,
         fallback_response: str = "",
         daily_capacity: int = 10_000,
+        resilience: bool = True,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        response_validator=None,
+        seed: int = 0,
     ):
         self.generator = generator
         self.clock = clock or SimClock()
         self.cache = AsyncCacheStore(self.clock, daily_capacity=daily_capacity)
         self.features = FeatureStore(self.clock)
         self.metrics = ServingMetrics()
+        self.dead_letters: list[DeadLetter] = []
         self._prompt_builder = prompt_builder or (lambda query: query)
         self._fallback = fallback_response
         self._feedback: list[tuple[str, str, bool]] = []
+        self._last_good: dict[str, str] = {}
+        if resilience:
+            self._resilient = ResilientGenerator(
+                generator,
+                self.clock,
+                retry=retry,
+                breaker=breaker or CircuitBreaker(self.clock),
+                validator=response_validator,
+                seed=seed,
+            )
+        else:
+            self._resilient = None
+
+    @property
+    def breaker(self) -> CircuitBreaker | None:
+        """The circuit breaker, when resilience is enabled."""
+        return self._resilient.breaker if self._resilient is not None else None
+
+    @property
+    def resilient(self) -> bool:
+        return self._resilient is not None
 
     # ------------------------------------------------------------------
+    def _charge_request(self, latency_s: float) -> None:
+        self.metrics.request_latencies_s.append(latency_s)
+        self.clock.advance(latency_s)
+
     def handle_request(self, query: str) -> str:
-        """Serve one query from cache; misses get the fallback response."""
+        """Serve one query from cache; misses degrade gracefully.
+
+        Degradation chain: fresh cache entry → (possibly stale)
+        feature-store entry → last known good response → fallback.  The
+        miss is enqueued for batch processing in every case, so degraded
+        answers heal on the next batch cycle.
+        """
         response = self.cache.lookup(query)
-        self.metrics.request_latencies_s.append(_CACHE_LATENCY_S)
-        self.clock.advance(_CACHE_LATENCY_S)
-        if response is None:
-            self.metrics.fallbacks += 1
-            return self._fallback
-        return response
+        if response is not None:
+            self._charge_request(_CACHE_LATENCY_S)
+            self.metrics.served_fresh += 1
+            return response
+        if self._resilient is not None:
+            record = self.features.get(query)
+            stale = record.knowledge_text if record is not None else self._last_good.get(query)
+            if stale is not None:
+                self._charge_request(_DEGRADED_LATENCY_S)
+                self.metrics.degraded_serves += 1
+                return stale
+        self._charge_request(_CACHE_LATENCY_S)
+        self.metrics.fallbacks += 1
+        return self._fallback
 
     def handle_request_direct(self, query: str) -> str:
         """Bypass the cache and call the model synchronously.
 
         The comparison point for the serving bench: this is what serving
-        the teacher LLM per-request would cost.
+        the teacher LLM per-request would cost.  Under resilience the
+        call is retried/breaker-guarded and failures fall through the
+        same degradation chain as cache misses.
         """
-        before = self.generator.latency.total_simulated_s
-        generation = self.generator.generate_knowledge([self._prompt_builder(query)])[0]
-        latency = self.generator.latency.total_simulated_s - before
-        self.metrics.request_latencies_s.append(latency)
-        self.clock.advance(latency)
+        prompt = self._prompt_builder(query)
+        clock_before = self.clock.now()
+        latency_before = self.generator.latency.total_simulated_s
+        source = self._resilient if self._resilient is not None else self.generator
+        try:
+            generation = source.generate_knowledge([prompt])[0]
+        except (GeneratorFault, CircuitOpenError, RetriesExhausted):
+            return self._degrade_direct(query, clock_before, latency_before)
+        if self._resilient is not None:
+            latency = self.clock.now() - clock_before
+            self.metrics.request_latencies_s.append(latency)
+        else:
+            latency = self.generator.latency.total_simulated_s - latency_before
+            self.metrics.request_latencies_s.append(latency)
+            self.clock.advance(latency)
+        self.metrics.served_fresh += 1
+        self._last_good[query] = generation.text
+        # Write through so later cached requests hit immediately.
+        self.features.put(query, generation.text)
+        self.cache.apply_batch({query: generation.text})
         return generation.text
+
+    def _degrade_direct(self, query: str, clock_before: float,
+                        latency_before: float) -> str:
+        """Degradation chain for a failed direct call."""
+        self.metrics.generator_failures += 1
+        if self._resilient is None:
+            self.clock.advance(self.generator.latency.total_simulated_s - latency_before)
+        record = self.features.get(query)
+        stale = record.knowledge_text if record is not None else self._last_good.get(query)
+        if stale is not None and self._resilient is not None:
+            self.clock.advance(_DEGRADED_LATENCY_S)
+            self.metrics.request_latencies_s.append(self.clock.now() - clock_before)
+            self.metrics.degraded_serves += 1
+            return stale
+        self.clock.advance(_CACHE_LATENCY_S)
+        self.metrics.request_latencies_s.append(self.clock.now() - clock_before)
+        self.metrics.fallbacks += 1
+        return self._fallback
 
     # ------------------------------------------------------------------
     def run_batch(self, max_queries: int | None = None) -> int:
-        """Process pending queries in bulk and install responses."""
+        """Process pending queries in bulk and install responses.
+
+        With resilience enabled, failed prompts are retried per the
+        policy; prompts that exhaust the budget move to the dead-letter
+        queue (re-driven by :meth:`daily_refresh`).  When the circuit
+        breaker refuses the batch, queries simply stay pending for the
+        next cycle.
+        """
         pending = self.cache.pending_queries()
         if max_queries is not None:
             pending = pending[:max_queries]
         if not pending:
             return 0
-        prompts = [self._prompt_builder(query) for query in pending]
-        generations = self.generator.generate_knowledge(prompts)
-        responses: dict[str, str] = {}
-        for query, generation in zip(pending, generations):
-            responses[query] = generation.text
-            self.features.put(query, generation.text)
-        installed = self.cache.apply_batch(responses)
         self.metrics.batch_runs += 1
-        self.metrics.batch_queries_processed += len(pending)
+        prompts = [self._prompt_builder(query) for query in pending]
+        responses: dict[str, str] = {}
+        if self._resilient is not None:
+            outcome = self._resilient.generate_batch(prompts)
+            self.metrics.retries += outcome.retries
+            self.metrics.generator_failures += outcome.errors
+            self.metrics.rejected_generations += outcome.rejected
+            self.metrics.backoff_wait_s += outcome.wait_s
+            if outcome.breaker_refused:
+                self.metrics.breaker_refusals += 1
+            for query, generation in zip(pending, outcome.generations):
+                if generation is None:
+                    continue
+                responses[query] = generation.text
+            failed = [pending[i] for i in outcome.failed_indices]
+            if failed and outcome.attempts > 0 and not outcome.breaker_refused:
+                for query in failed:
+                    self._dead_letter(query, outcome.attempts, "retries exhausted")
+                self.cache.drop_pending(failed)
+        else:
+            try:
+                generations = self.generator.generate_knowledge(prompts)
+            except GeneratorFault:
+                self.metrics.generator_failures += 1
+                return 0
+            responses = {q: g.text for q, g in zip(pending, generations)}
+        for query, text in responses.items():
+            self.features.put(query, text)
+            self._last_good[query] = text
+        installed = self.cache.apply_batch(responses)
+        self.metrics.batch_queries_processed += len(responses)
         return installed
+
+    def _dead_letter(self, query: str, attempts: int, reason: str) -> None:
+        self.dead_letters.append(
+            DeadLetter(query=query, day=self.clock.day, attempts=attempts, reason=reason)
+        )
+        self.metrics.dead_lettered += 1
+
+    def _redrive_dead_letters(self) -> int:
+        """Retry every dead-lettered query once more; successes install,
+        failures go back on the queue with their attempt count bumped."""
+        if not self.dead_letters:
+            return 0
+        letters, self.dead_letters = self.dead_letters, []
+        prompts = [self._prompt_builder(letter.query) for letter in letters]
+        if self._resilient is not None:
+            outcome = self._resilient.generate_batch(prompts)
+            self.metrics.retries += outcome.retries
+            self.metrics.generator_failures += outcome.errors
+            self.metrics.rejected_generations += outcome.rejected
+            self.metrics.backoff_wait_s += outcome.wait_s
+            generations = outcome.generations
+        else:
+            try:
+                generations = self.generator.generate_knowledge(prompts)
+            except GeneratorFault:
+                self.metrics.generator_failures += 1
+                self.dead_letters = letters
+                return 0
+        redriven = 0
+        responses: dict[str, str] = {}
+        for letter, generation in zip(letters, generations):
+            if generation is None:
+                self.dead_letters.append(
+                    DeadLetter(letter.query, self.clock.day,
+                               letter.attempts + 1, letter.reason)
+                )
+                continue
+            responses[letter.query] = generation.text
+            self.features.put(letter.query, generation.text)
+            self._last_good[letter.query] = generation.text
+            redriven += 1
+        self.cache.apply_batch(responses)
+        self.metrics.redriven += redriven
+        return redriven
 
     # ------------------------------------------------------------------
     # Feedback loop (§3.5.2): user interactions flow back into the model.
@@ -156,17 +375,35 @@ class CosmoService:
         return consumed
 
     def daily_refresh(self, refresh_stale: bool = True) -> dict[str, int]:
-        """End-of-day maintenance: promote hot entries, refresh stale
-        features, advance the clock to the next day."""
+        """End-of-day maintenance: promote hot entries, re-drive the
+        dead-letter queue, refresh stale features, advance the clock to
+        the next day."""
         promoted = self.cache.promote_frequent()
         self.apply_feedback()
+        redriven = self._redrive_dead_letters()
         refreshed = 0
         if refresh_stale:
             stale = self.features.stale_keys(max_age_days=1)
             if stale:
                 prompts = [self._prompt_builder(key) for key in stale]
-                for key, generation in zip(stale, self.generator.generate_knowledge(prompts)):
+                if self._resilient is not None:
+                    outcome = self._resilient.generate_batch(prompts)
+                    self.metrics.retries += outcome.retries
+                    self.metrics.generator_failures += outcome.errors
+                    self.metrics.rejected_generations += outcome.rejected
+                    self.metrics.backoff_wait_s += outcome.wait_s
+                    generations = outcome.generations
+                else:
+                    try:
+                        generations = self.generator.generate_knowledge(prompts)
+                    except GeneratorFault:
+                        self.metrics.generator_failures += 1
+                        generations = [None] * len(stale)
+                for key, generation in zip(stale, generations):
+                    if generation is None:
+                        continue  # keep the stale entry; better than nothing
                     self.features.put(key, generation.text)
+                    self._last_good[key] = generation.text
                     refreshed += 1
         self.clock.advance_days(1)
-        return {"promoted": promoted, "refreshed": refreshed}
+        return {"promoted": promoted, "refreshed": refreshed, "redriven": redriven}

@@ -1,0 +1,304 @@
+"""Retry, circuit breaking, and resilient generation for serving.
+
+The serving stack's availability under generator faults rests on three
+pieces composed by :class:`ResilientGenerator`:
+
+* :class:`RetryPolicy` — exponential backoff with jitter under a
+  per-request deadline budget;
+* :class:`CircuitBreaker` — a failure-rate breaker (closed → open →
+  half-open) that fails fast during sustained outages and probes its way
+  back to closed;
+* output validation — garbage generations (see
+  :mod:`repro.serving.faults`) are rejected and retried per prompt.
+
+Every wait — backoff between attempts, generation latency, breaker
+cooldown — is charged to the :class:`~repro.serving.clock.SimClock`.
+Nothing here sleeps on the wall clock, so chaos scenarios covering
+simulated hours run in milliseconds and replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.llm.interface import Generation
+from repro.serving.clock import SimClock
+from repro.serving.faults import GeneratorFault
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "RetryPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetriesExhausted",
+    "BatchOutcome",
+    "ResilientGenerator",
+]
+
+
+class CircuitOpenError(RuntimeError):
+    """A call was refused because the circuit breaker is open."""
+
+
+class RetriesExhausted(RuntimeError):
+    """A call failed after consuming the full retry budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter under a per-request deadline.
+
+    Attempt ``n`` (1-based) is preceded by a backoff of
+    ``min(max_backoff_s, base_backoff_s * backoff_multiplier**(n - 2))``
+    spread by ``±jitter``; no attempt starts once ``deadline_s`` of
+    simulated time has been spent on the request.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.25
+    deadline_s: float = 30.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_s(self, retry: int, rng=None) -> float:
+        """Backoff before the ``retry``-th retry (1 = first retry)."""
+        if retry < 1:
+            return 0.0
+        raw = min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.backoff_multiplier ** (retry - 1),
+        )
+        if rng is None or self.jitter == 0.0:
+            return raw
+        spread = self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(0.0, raw * (1.0 + spread))
+
+    def allows(self, attempts_made: int, elapsed_s: float) -> bool:
+        """Whether another attempt fits the attempt and deadline budgets."""
+        return attempts_made < self.max_attempts and elapsed_s < self.deadline_s
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker on simulated time.
+
+    CLOSED: calls flow and outcomes enter a sliding window; once the
+    window holds at least ``min_calls`` outcomes and the failure rate
+    reaches ``failure_threshold``, the breaker trips OPEN.  OPEN: calls
+    are refused until ``cooldown_s`` of simulated time elapses, after
+    which the next :meth:`allow` moves to HALF_OPEN.  HALF_OPEN: trial
+    calls are admitted; ``half_open_probes`` consecutive successes close
+    the breaker, any failure re-opens it and restarts the cooldown.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        failure_threshold: float = 0.5,
+        window: int = 20,
+        min_calls: int = 5,
+        cooldown_s: float = 120.0,
+        half_open_probes: int = 2,
+    ):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self.state = BreakerState.CLOSED
+        self.opens = 0
+        self.closes = 0
+        self.refusals = 0
+        #: ``(simulated time, new state)`` for every transition.
+        self.transitions: list[tuple[float, BreakerState]] = []
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._opened_at = 0.0
+        self._probe_successes = 0
+
+    # ------------------------------------------------------------------
+    def _set_state(self, new: BreakerState) -> None:
+        if new is self.state:
+            return
+        self.state = new
+        self.transitions.append((self._clock.now(), new))
+        if new is BreakerState.OPEN:
+            self.opens += 1
+        elif new is BreakerState.CLOSED:
+            self.closes += 1
+
+    def _trip(self) -> None:
+        self._opened_at = self._clock.now()
+        self._outcomes.clear()
+        self._set_state(BreakerState.OPEN)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed right now."""
+        if self.state is BreakerState.OPEN:
+            if self._clock.now() - self._opened_at >= self.cooldown_s:
+                self._probe_successes = 0
+                self._set_state(BreakerState.HALF_OPEN)
+                return True
+            self.refusals += 1
+            return False
+        return True
+
+    def record_success(self) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_probes:
+                self._outcomes.clear()
+                self._set_state(BreakerState.CLOSED)
+        else:
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._outcomes.append(False)
+        if len(self._outcomes) >= self.min_calls and self.failure_rate >= self.failure_threshold:
+            self._trip()
+
+    @property
+    def failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return 1.0 - sum(self._outcomes) / len(self._outcomes)
+
+
+@dataclass
+class BatchOutcome:
+    """Per-prompt result of one resilient batched generation."""
+
+    generations: list[Generation | None]
+    attempts: int = 0
+    retries: int = 0
+    errors: int = 0
+    rejected: int = 0
+    breaker_refused: bool = False
+    wait_s: float = 0.0
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return [i for i, g in enumerate(self.generations) if g is None]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_indices
+
+
+def _default_validator(text: str) -> bool:
+    return bool(text.strip())
+
+
+class ResilientGenerator:
+    """Retry + circuit breaking + output validation around any batched
+    generator.
+
+    Drop-in for the plain generator protocol: ``generate_knowledge``
+    raises on failure, while :meth:`generate_batch` returns a
+    :class:`BatchOutcome` with per-prompt results so callers (the batch
+    processor, the dead-letter redrive) can handle partial failure.
+    Unknown attributes pass through to the wrapped generator.
+    """
+
+    def __init__(
+        self,
+        generator,
+        clock: SimClock,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        validator=None,
+        seed: int = 0,
+    ):
+        self.inner = generator
+        self.clock = clock
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker(clock)
+        self.latency = generator.latency
+        self.parameter_count = getattr(generator, "parameter_count", 0)
+        self._validate = validator or _default_validator
+        self._rng = spawn_rng(seed, "resilience-jitter")
+
+    def __getattr__(self, name):
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    # ------------------------------------------------------------------
+    def generate_batch(self, prompts: list[str]) -> BatchOutcome:
+        """Generate with retries; failed prompts come back as ``None``.
+
+        A call-level fault fails the whole remaining batch for that
+        attempt; a rejected (garbage) generation re-enters the next
+        attempt alone.  Backoffs and generation latency both advance the
+        simulated clock, and the deadline budget covers their sum.
+        """
+        outcome = BatchOutcome(generations=[None] * len(prompts))
+        remaining = list(range(len(prompts)))
+        started = self.clock.now()
+        while remaining:
+            if outcome.attempts and not self.retry.allows(
+                outcome.attempts, self.clock.now() - started
+            ):
+                break
+            if not self.breaker.allow():
+                outcome.breaker_refused = True
+                break
+            if outcome.attempts:
+                wait = self.retry.backoff_s(outcome.attempts, self._rng)
+                self.clock.advance(wait)
+                outcome.wait_s += wait
+                outcome.retries += 1
+            outcome.attempts += 1
+            before = self.latency.total_simulated_s
+            try:
+                generations = self.inner.generate_knowledge(
+                    [prompts[i] for i in remaining]
+                )
+            except GeneratorFault:
+                self.clock.advance(self.latency.total_simulated_s - before)
+                outcome.errors += 1
+                self.breaker.record_failure()
+                continue
+            self.clock.advance(self.latency.total_simulated_s - before)
+            self.breaker.record_success()
+            still_failed = []
+            for index, generation in zip(remaining, generations):
+                if self._validate(generation.text):
+                    outcome.generations[index] = generation
+                else:
+                    outcome.rejected += 1
+                    still_failed.append(index)
+            remaining = still_failed
+        return outcome
+
+    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
+        """Protocol-compatible all-or-nothing generation."""
+        outcome = self.generate_batch(prompts)
+        if outcome.ok:
+            return outcome.generations
+        if outcome.breaker_refused and outcome.attempts == 0:
+            raise CircuitOpenError("circuit breaker is open; call refused")
+        raise RetriesExhausted(
+            f"{len(outcome.failed_indices)}/{len(prompts)} prompts failed "
+            f"after {outcome.attempts} attempts"
+        )

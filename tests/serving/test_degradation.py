@@ -1,0 +1,205 @@
+"""Graceful degradation, dead-letter queue, and availability accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.interface import Generation, LatencyModel
+from repro.serving import (
+    CircuitBreaker,
+    CosmoService,
+    FaultInjector,
+    FaultPlan,
+    FlakyGenerator,
+    RetryPolicy,
+    SimClock,
+)
+
+
+class Scripted:
+    parameter_count = 1_000_000
+
+    def __init__(self):
+        self.latency = LatencyModel()
+
+    def generate_knowledge(self, prompts):
+        return [
+            Generation(text=f"it is used for {p}.", tokens=8,
+                       latency_s=self.latency.charge(self.parameter_count, 8))
+            for p in prompts
+        ]
+
+
+def _service(plan=None, seed=0, **kwargs):
+    injector = FaultInjector(plan or FaultPlan(), seed=seed)
+    flaky = FlakyGenerator(Scripted(), injector)
+    clock = SimClock()
+    service = CosmoService(flaky, clock=clock, fallback_response="(down)",
+                           seed=seed, **kwargs)
+    return service, injector
+
+
+# -- degradation chain -----------------------------------------------------
+def test_degradation_chain_feature_store_then_fallback():
+    service, _ = _service()
+    assert service.handle_request("q") == "(down)"  # nothing known yet
+    assert service.metrics.fallbacks == 1
+    service.run_batch()
+    assert service.handle_request("q") == "it is used for q."
+    assert service.metrics.served_fresh == 1
+    service.clock.advance_days(1)  # daily layer expires; features survive
+    assert service.handle_request("q") == "it is used for q."
+    assert service.metrics.degraded_serves == 1
+
+
+def test_degradation_uses_last_known_good_without_feature_record():
+    service, _ = _service()
+    service.handle_request("q")
+    service.run_batch()
+    # Simulate a lost feature record; the last-good map still covers it.
+    service.features._records.clear()
+    service.clock.advance_days(1)
+    assert service.handle_request("q") == "it is used for q."
+    assert service.metrics.degraded_serves == 1
+
+
+def test_resilience_off_restores_legacy_fallback_behavior():
+    service, _ = _service(resilience=False)
+    service.handle_request("q")
+    service.run_batch()
+    service.clock.advance_days(1)
+    assert service.handle_request("q") == "(down)"  # no degraded serving
+    assert service.metrics.degraded_serves == 0
+
+
+def test_direct_request_degrades_on_failure():
+    service, injector = _service()
+    assert service.handle_request_direct("q") == "it is used for q."
+    injector.plan = FaultPlan(error_rate=1.0)
+    response = service.handle_request_direct("q")
+    assert response == "it is used for q."  # last known good
+    assert service.metrics.degraded_serves == 1
+    assert service.metrics.generator_failures >= 1
+
+
+def test_direct_request_without_resilience_falls_back():
+    service, injector = _service(resilience=False)
+    injector.plan = FaultPlan(error_rate=1.0)
+    assert service.handle_request_direct("q") == "(down)"
+    assert service.metrics.fallbacks == 1
+
+
+# -- dead-letter queue -----------------------------------------------------
+def test_exhausted_retries_dead_letter_and_daily_refresh_redrives():
+    service, injector = _service(
+        retry=RetryPolicy(max_attempts=2, jitter=0.0),
+        breaker=CircuitBreaker(SimClock(), min_calls=100),  # effectively off
+    )
+    injector.plan = FaultPlan(error_rate=1.0)
+    service.handle_request("q1")
+    service.handle_request("q2")
+    assert service.run_batch() == 0
+    assert service.metrics.dead_lettered == 2
+    assert [letter.query for letter in service.dead_letters] == ["q1", "q2"]
+    assert service.cache.pending_size == 0  # moved off the pending queue
+    # The outage ends; the daily refresh re-drives the queue.
+    injector.plan = FaultPlan()
+    report = service.daily_refresh(refresh_stale=False)
+    assert report["redriven"] == 2
+    assert not service.dead_letters
+    assert service.handle_request("q1") == "it is used for q1."
+
+
+def test_redrive_failure_requeues_with_bumped_attempts():
+    service, injector = _service(
+        retry=RetryPolicy(max_attempts=2, jitter=0.0),
+        breaker=CircuitBreaker(SimClock(), min_calls=100),
+    )
+    injector.plan = FaultPlan(error_rate=1.0)
+    service.handle_request("q")
+    service.run_batch()
+    first_attempts = service.dead_letters[0].attempts
+    service.daily_refresh(refresh_stale=False)  # still failing
+    assert len(service.dead_letters) == 1
+    assert service.dead_letters[0].attempts == first_attempts + 1
+
+
+def test_breaker_refusal_leaves_queries_pending():
+    breaker = CircuitBreaker(SimClock(), window=4, min_calls=2, cooldown_s=1e9)
+    breaker.record_failure()
+    breaker.record_failure()
+    service, _ = _service(breaker=breaker)
+    service.handle_request("q")
+    assert service.run_batch() == 0
+    assert service.metrics.breaker_refusals == 1
+    assert service.metrics.dead_lettered == 0
+    assert service.cache.pending_size == 1  # retried next cycle, not dropped
+
+
+# -- pending queue bounds --------------------------------------------------
+def test_pending_capacity_evicts_oldest():
+    from repro.serving import AsyncCacheStore
+
+    clock = SimClock()
+    cache = AsyncCacheStore(clock, pending_capacity=3)
+    for i in range(5):
+        cache.lookup(f"q{i}")
+    assert cache.pending_size == 3
+    assert cache.stats.pending_evictions == 2
+    assert "q0" not in cache.pending_queries()
+
+
+def test_pending_age_eviction_on_day_roll():
+    from repro.serving import AsyncCacheStore
+
+    clock = SimClock()
+    cache = AsyncCacheStore(clock, pending_max_age_days=1)
+    cache.lookup("old")
+    clock.advance_days(3)
+    cache.lookup("new")  # rolls the daily layer, ages out "old"
+    assert cache.pending_queries() == ["new"]
+    assert cache.stats.pending_evictions == 1
+
+
+# -- availability accounting (property) ------------------------------------
+@st.composite
+def fault_schedules(draw):
+    ops = []
+    for _ in range(draw(st.integers(5, 50))):
+        kind = draw(st.sampled_from(["request", "request", "request", "batch",
+                                     "day", "refresh", "plan"]))
+        if kind == "request":
+            ops.append((kind, draw(st.sampled_from([f"q{i}" for i in range(8)]))))
+        elif kind == "plan":
+            ops.append((kind, draw(st.floats(0.0, 1.0))))
+        else:
+            ops.append((kind, None))
+    return ops
+
+
+@given(fault_schedules(), st.booleans(), st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_availability_accounting_consistent_under_random_faults(ops, resilient, seed):
+    service, injector = _service(resilience=resilient, seed=seed)
+    requests = 0
+    for kind, arg in ops:
+        if kind == "request":
+            service.handle_request(arg)
+            requests += 1
+        elif kind == "batch":
+            service.run_batch()
+        elif kind == "day":
+            service.clock.advance_days(1)
+        elif kind == "refresh":
+            service.daily_refresh()
+        elif kind == "plan":
+            injector.plan = FaultPlan.mixed(arg)
+    metrics = service.metrics
+    # Every request is exactly one of fresh / degraded / fallback.
+    assert metrics.served_fresh + metrics.degraded_serves + metrics.fallbacks \
+        == requests == metrics.requests
+    assert len(metrics.request_latencies_s) == requests
+    assert 0.0 <= metrics.availability <= 1.0
+    assert 0.0 <= metrics.fallback_rate <= 1.0
+    if not resilient:
+        assert metrics.degraded_serves == 0

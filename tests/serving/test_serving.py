@@ -233,6 +233,10 @@ def test_flash_sale_staleness_mechanism():
     generator.mode = "after"  # the world changed
     assert "before" in service.handle_request("deal")  # stale until refresh
     service.clock.advance_days(1)
-    assert service.handle_request("deal") == ""  # daily layer cleared
+    # Daily layer cleared: a cache miss now serves the stale feature-store
+    # entry (degraded) instead of failing outright.
+    degraded = service.handle_request("deal")
+    assert "before" in degraded
+    assert service.metrics.degraded_serves == 1
     service.run_batch()
     assert "after" in service.handle_request("deal")
