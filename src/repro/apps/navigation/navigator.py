@@ -19,6 +19,7 @@ import numpy as np
 from repro.apps.navigation.hierarchy import IntentNode, NavigationHierarchy
 from repro.behavior.world import World
 from repro.catalog.products import Product
+from repro.utils.rng import spawn_rng
 
 __all__ = ["Suggestion", "NavigationTurn", "TaxonomyNavigator", "CosmoNavigator"]
 
@@ -44,10 +45,16 @@ class TaxonomyNavigator:
 
     name = "taxonomy"
 
-    def __init__(self, world: World, suggestions_per_turn: int = 5, seed: int = 0):
+    def __init__(
+        self,
+        world: World,
+        suggestions_per_turn: int = 5,
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
+    ):
         self.world = world
         self.k = suggestions_per_turn
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else spawn_rng(seed, "navigation/taxonomy")
 
     def first_turn(self, domain: str, query_text: str) -> NavigationTurn:
         """Popular product types of the domain, intent-blind."""
@@ -86,11 +93,12 @@ class CosmoNavigator:
         hierarchy: NavigationHierarchy,
         suggestions_per_turn: int = 5,
         seed: int = 0,
+        rng: np.random.Generator | None = None,
     ):
         self.world = world
         self.hierarchy = hierarchy
         self.k = suggestions_per_turn
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else spawn_rng(seed, "navigation/cosmo")
 
     # -- layer 1: broad conception interpretation -----------------------
     def first_turn(self, domain: str, query_text: str) -> NavigationTurn:

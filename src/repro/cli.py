@@ -19,6 +19,8 @@ from repro.core import CosmoLMConfig, CosmoPipeline, PipelineConfig
 from repro.core.kg_io import load_kg, save_kg
 from repro.reporting import Table, format_percent
 
+__all__ = ["build_parser", "main"]
+
 
 def _pipeline_config(seed: int, scale: float, lm_epochs: int) -> PipelineConfig:
     world = WorldConfig(seed=seed).scaled(scale)
@@ -126,6 +128,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -167,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--outage-demo", action="store_true",
                        help="also run the scripted sustained-outage scenario")
     chaos.set_defaults(func=cmd_chaos)
+
+    lint = sub.add_parser(
+        "lint", help="run cosmolint, the repo's static invariant checker")
+    lint.add_argument("paths", nargs="*", default=["src", "benchmarks", "examples"],
+                      help="files or directories to lint")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -1,0 +1,33 @@
+"""cosmolint — AST-based invariant checks for the COSMO reproduction.
+
+A small static-analysis pass over the repo's own source enforcing the
+contracts the reproduction's numbers depend on: every random stream is
+derived through ``spawn_rng(seed, scope)``, the serving layer runs on
+``SimClock`` simulated time, and a handful of general hygiene rules
+(mutable defaults, overbroad excepts, float equality in metrics,
+``__all__`` consistency).  See DESIGN.md, section "Static invariants".
+
+Run it with ``python -m repro.lint src benchmarks examples`` or
+``python -m repro.cli lint``; suppress a finding in place with
+``# cosmolint: disable=rule-id``.
+"""
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintResult, iter_python_files, lint_paths, lint_source
+from repro.lint.registry import FileContext, LintRule, all_rules, register, rule_ids
+from repro.lint.reporters import format_json, format_text
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "FileContext",
+    "LintRule",
+    "all_rules",
+    "register",
+    "rule_ids",
+    "format_json",
+    "format_text",
+]

@@ -1,0 +1,40 @@
+"""Diagnostic records emitted by cosmolint rules.
+
+A :class:`Diagnostic` is one rule violation at one source location.  The
+engine sorts diagnostics by ``(path, line, col, rule)`` so reporter
+output is stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=False)
+class Diagnostic:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable payload (the JSON reporter's row format)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form: ``path:line:col: [rule] message``."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"

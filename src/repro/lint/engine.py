@@ -1,0 +1,147 @@
+"""The cosmolint engine: collect files, run rules, apply suppressions.
+
+The engine is pure — it reads files and returns a :class:`LintResult`;
+reporters render it and the CLI maps it to an exit code.  ``lint_source``
+lints a single in-memory module, which is what the rule tests use (rules
+are exercised against fixture snippets, never the live tree).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import FileContext, LintRule, all_rules, make_filter
+from repro.lint.suppressions import parse_suppressions
+from repro.lint import rules as _rules  # noqa: F401  (imports register the rule set)
+
+__all__ = ["LintResult", "iter_python_files", "lint_source", "lint_paths"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def extend(self, other: "LintResult") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.files_checked += other.files_checked
+        self.suppressed += other.suppressed
+
+    def finalize(self) -> "LintResult":
+        self.diagnostics.sort(key=Diagnostic.sort_key)
+        return self
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in deterministic order."""
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                relative_parts = candidate.relative_to(path).parts
+                if any(part in _SKIP_DIRS or part.startswith(".") for part in relative_parts):
+                    continue
+                yield candidate
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+def _sibling_modules(path: Path) -> tuple[str, ...]:
+    """Importable sibling names for a package ``__init__.py``."""
+    if path.name != "__init__.py":
+        return ()
+    names = []
+    for entry in path.parent.iterdir():
+        if entry.is_file() and entry.suffix == ".py" and entry.name != "__init__.py":
+            names.append(entry.stem)
+        elif entry.is_dir() and (entry / "__init__.py").exists():
+            names.append(entry.name)
+    return tuple(sorted(names))
+
+
+def _build_context(path: Path, display_path: str, source: str) -> FileContext:
+    return FileContext(
+        display_path=display_path,
+        source=source,
+        in_package=(path.parent / "__init__.py").exists(),
+        parts=tuple(Path(display_path).parts),
+        sibling_modules=_sibling_modules(path),
+    )
+
+
+def lint_source(
+    source: str,
+    display_path: str = "<string>",
+    in_package: bool = False,
+    rule_classes: Iterable[type[LintRule]] | None = None,
+) -> LintResult:
+    """Lint one in-memory module (the rule-test entry point)."""
+    context = FileContext(
+        display_path=display_path,
+        source=source,
+        in_package=in_package,
+        parts=tuple(Path(display_path).parts),
+    )
+    return _lint_context(context, rule_classes).finalize()
+
+
+def _lint_context(
+    context: FileContext,
+    rule_classes: Iterable[type[LintRule]] | None = None,
+) -> LintResult:
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(context.source, filename=context.display_path)
+    except SyntaxError as error:
+        result.diagnostics.append(
+            Diagnostic(
+                rule="syntax-error",
+                path=context.display_path,
+                line=error.lineno or 1,
+                col=(error.offset or 0) or 1,
+                message=f"cannot parse module: {error.msg}",
+            )
+        )
+        return result
+    suppressions = parse_suppressions(context.source)
+    for rule_class in rule_classes if rule_classes is not None else all_rules():
+        if not rule_class.applies_to(context):
+            continue
+        for diagnostic in rule_class(context).check(tree):
+            if suppressions.is_suppressed(diagnostic.rule, diagnostic.line):
+                result.suppressed += 1
+            else:
+                result.diagnostics.append(diagnostic)
+    return result
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` with the registered rules."""
+    keep = make_filter(select, ignore)
+    rule_classes = [rule_class for rule_class in all_rules() if keep(rule_class)]
+    result = LintResult()
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        context = _build_context(path, str(path), source)
+        result.extend(_lint_context(context, rule_classes))
+    return result.finalize()

@@ -1,0 +1,406 @@
+"""The cosmolint rule set: the repo's determinism and serving contracts.
+
+Each rule encodes an invariant the reproduction's regression numbers or
+serving benches rely on; DESIGN.md ("Static invariants") documents the
+mapping.  Rules are scoped by path where the contract is local (wall
+clock only matters under ``serving/`` and ``benchmarks/``; float
+equality only in metrics code).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import FileContext, LintRule, register
+
+__all__ = [
+    "ImportMap",
+    "UnscopedRngRule",
+    "WallClockRule",
+    "MutableDefaultRule",
+    "OverbroadExceptRule",
+    "FloatEqualityRule",
+    "AllConsistencyRule",
+]
+
+
+class ImportMap:
+    """Alias → canonical dotted module map for one file.
+
+    Resolves names like ``np.random.default_rng`` back to
+    ``numpy.random.default_rng`` regardless of how numpy was imported
+    (``import numpy``, ``import numpy as np``, ``from numpy import
+    random as npr``, ``from numpy.random import default_rng``, ...).
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".", 1)[0]
+                    # "import a.b" binds "a"; "import a.b as c" binds a.b.
+                    self.aliases[name] = alias.name if alias.asname else name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name for an attribute chain, or ``None``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+@register
+class UnscopedRngRule(LintRule):
+    """Ban RNG streams that bypass ``repro.utils.rng.spawn_rng``.
+
+    Direct ``np.random.*`` / ``random.*`` / ``default_rng`` calls couple
+    a component's stream to global state or to a raw seed, so adding any
+    new draw perturbs every downstream stream — exactly what the
+    seed+scope discipline exists to prevent.  ``utils/rng.py`` itself is
+    exempt (it is the one sanctioned wrapper).
+    """
+
+    id = "unscoped-rng"
+    summary = "RNG must come from spawn_rng/RngFactory, never raw numpy/stdlib streams"
+    invariant = "bit-stable regression numbers for Tables 1/3/6"
+
+    @classmethod
+    def applies_to(cls, context: FileContext) -> bool:
+        return context.parts[-2:] != ("utils", "rng.py")
+
+    def check(self, tree: ast.Module) -> list[Diagnostic]:
+        self._imports = ImportMap(tree)
+        return super().check(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._imports.resolve(node.func)
+        if name is not None:
+            if name.startswith("numpy.random."):
+                self.report(
+                    node,
+                    f"call to {name} bypasses the seed+scope discipline; "
+                    "derive streams via repro.utils.rng.spawn_rng(seed, scope=...)",
+                )
+            elif name == "random" or name.startswith("random."):
+                self.report(
+                    node,
+                    f"stdlib {name} draws from hidden global state; "
+                    "use repro.utils.rng.spawn_rng(seed, scope=...) instead",
+                )
+        self.generic_visit(node)
+
+
+@register
+class WallClockRule(LintRule):
+    """Ban wall-clock time in the serving layer and benchmarks.
+
+    The serving layer (§3.5, Figure 5) runs entirely on simulated
+    :class:`~repro.serving.clock.SimClock` time, so chaos and latency
+    benches are deterministic and never sleep for real.
+    """
+
+    id = "wall-clock"
+    summary = "serving/benchmark code must use SimClock, never wall-clock time"
+    invariant = "deterministic, sleep-free serving and chaos benches"
+
+    _BANNED = {
+        "time.time",
+        "time.time_ns",
+        "time.sleep",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+
+    @classmethod
+    def applies_to(cls, context: FileContext) -> bool:
+        return "serving" in context.parts or "benchmarks" in context.parts
+
+    def check(self, tree: ast.Module) -> list[Diagnostic]:
+        self._imports = ImportMap(tree)
+        return super().check(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._imports.resolve(node.func)
+        if name in self._BANNED:
+            self.report(
+                node,
+                f"call to {name} reads the wall clock; serving and benchmark "
+                "code must go through SimClock",
+            )
+        self.generic_visit(node)
+
+
+@register
+class MutableDefaultRule(LintRule):
+    """Ban mutable default argument values.
+
+    A list/dict/set default is created once at definition time and
+    shared across calls — state leaks between requests and between
+    pipeline stages.
+    """
+
+    id = "mutable-default"
+    summary = "no mutable default argument values"
+    invariant = "no state shared across calls through default arguments"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+    _MUTABLE_LITERALS = (
+        ast.List,
+        ast.Dict,
+        ast.Set,
+        ast.ListComp,
+        ast.DictComp,
+        ast.SetComp,
+    )
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is None:
+                continue
+            mutable = isinstance(default, self._MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in self._MUTABLE_CALLS
+            )
+            if mutable:
+                self.report(
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None (or use dataclasses.field(default_factory=...))",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+@register
+class OverbroadExceptRule(LintRule):
+    """Ban bare ``except:`` and swallowing ``except Exception:``.
+
+    The resilience layer depends on typed fault classes propagating to
+    the retry/breaker machinery; a broad handler that does not re-raise
+    silently converts faults into wrong answers.  ``except Exception``
+    is allowed when the handler re-raises.
+    """
+
+    id = "overbroad-except"
+    summary = "no bare except; except Exception/BaseException must re-raise"
+    invariant = "typed faults reach the retry/circuit-breaker machinery"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(child, ast.Raise) for child in ast.walk(handler))
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare except catches everything including KeyboardInterrupt; "
+                "catch the specific fault types instead",
+            )
+        elif (
+            isinstance(node.type, ast.Name)
+            and node.type.id in self._BROAD
+            and not self._reraises(node)
+        ):
+            self.report(
+                node,
+                f"except {node.type.id} without re-raise swallows faults the "
+                "resilience layer needs to see; narrow it or re-raise",
+            )
+        self.generic_visit(node)
+
+
+@register
+class FloatEqualityRule(LintRule):
+    """Ban ``==`` / ``!=`` against float literals in metrics code.
+
+    Metric computations accumulate rounding error; exact comparison
+    against a float literal silently flips regression thresholds.  Use
+    ``math.isclose`` or an explicit tolerance.
+    """
+
+    id = "float-equality"
+    summary = "metrics code must not compare floats with == / !="
+    invariant = "metric thresholds stable under floating-point rounding"
+
+    @classmethod
+    def applies_to(cls, context: FileContext) -> bool:
+        filename = context.parts[-1] if context.parts else context.display_path
+        return (
+            filename == "metrics.py"
+            or "metrics" in context.parts[:-1]
+            or "reporting" in context.parts[:-1]
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, right in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if any(
+                isinstance(operand, ast.Constant) and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                self.report(
+                    right,
+                    "float equality comparison is unstable under rounding; "
+                    "use math.isclose or an explicit tolerance",
+                )
+                break
+        self.generic_visit(node)
+
+
+@register
+class AllConsistencyRule(LintRule):
+    """``__all__`` must exist in public package modules and list only
+    names the module actually defines.
+
+    The serving and pipeline layers re-export through ``__all__``; a
+    missing or stale export list turns refactors into silent API
+    breaks.  Script trees (``benchmarks/``, ``examples/`` — not package
+    members) and docstring-only modules are exempt.
+    """
+
+    id = "all-consistency"
+    summary = "__all__ present in public modules and every listed name defined"
+    invariant = "the public API surface is explicit and importable"
+
+    _EXEMPT_MODULES = {"__main__", "conftest", "setup"}
+
+    def check(self, tree: ast.Module) -> list[Diagnostic]:
+        defined, star_import = self._module_names(tree)
+        dunder_all = self._find_all(tree)
+        if dunder_all is None:
+            if self._requires_all(defined):
+                self.report(
+                    tree.body[0] if tree.body else tree,
+                    "public module defines no __all__; declare its export list",
+                )
+            return self.diagnostics
+        names = self._literal_names(dunder_all.value)
+        if names is None or star_import:
+            return self.diagnostics  # dynamic __all__ or star import: unverifiable
+        for name, node in names:
+            if name not in defined and name not in self.context.sibling_modules:
+                self.report(
+                    node,
+                    f"__all__ lists {name!r} but the module never defines it",
+                )
+        return self.diagnostics
+
+    # -- helpers --------------------------------------------------------
+    def _requires_all(self, defined: set[str]) -> bool:
+        module = self.context.module_name
+        if not self.context.in_package:
+            return False
+        if module in self._EXEMPT_MODULES or module.startswith("test_"):
+            return False
+        if module.startswith("_") and module != "__init__":
+            return False
+        return any(not name.startswith("_") for name in defined)
+
+    @staticmethod
+    def _find_all(tree: ast.Module) -> ast.Assign | ast.AnnAssign | None:
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        return node
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                    return node
+        return None
+
+    @staticmethod
+    def _literal_names(value: ast.expr | None) -> list[tuple[str, ast.expr]] | None:
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None
+        names: list[tuple[str, ast.expr]] = []
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            names.append((element.value, element))
+        return names
+
+    @staticmethod
+    def _module_names(tree: ast.Module) -> tuple[set[str], bool]:
+        """Top-level bindings, walking into top-level if/try blocks."""
+        defined: set[str] = set()
+        star_import = False
+
+        def collect_target(target: ast.expr) -> None:
+            if isinstance(target, ast.Name):
+                defined.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    collect_target(element)
+            elif isinstance(target, ast.Starred):
+                collect_target(target.value)
+
+        def scan(body: list[ast.stmt]) -> None:
+            nonlocal star_import
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    defined.add(node.name)
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        collect_target(target)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    collect_target(node.target)
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        defined.add(alias.asname or alias.name.split(".", 1)[0])
+                elif isinstance(node, ast.ImportFrom):
+                    for alias in node.names:
+                        if alias.name == "*":
+                            star_import = True
+                        else:
+                            defined.add(alias.asname or alias.name)
+                elif isinstance(node, ast.If):
+                    scan(node.body)
+                    scan(node.orelse)
+                elif isinstance(node, ast.Try):
+                    scan(node.body)
+                    for handler in node.handlers:
+                        scan(handler.body)
+                    scan(node.orelse)
+                    scan(node.finalbody)
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    scan(node.body)
+        scan(tree.body)
+        return defined, star_import

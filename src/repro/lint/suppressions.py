@@ -1,0 +1,64 @@
+"""Per-rule suppression comments.
+
+Two forms are recognized, both parsed from real tokenizer output (so
+strings containing the marker text never suppress anything):
+
+* ``# cosmolint: disable=rule-id[,rule-id...]`` — suppresses the listed
+  rules on the physical line carrying the comment;
+* ``# cosmolint: disable-file=rule-id[,rule-id...]`` — suppresses the
+  listed rules for the whole file (conventionally placed at the top).
+
+``disable=all`` (or ``disable-file=all``) suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*cosmolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[\w\-, ]+)"
+)
+
+
+class Suppressions:
+    """Suppression state for one file."""
+
+    def __init__(self) -> None:
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+
+    def add(self, kind: str, line: int, rules: set[str]) -> None:
+        if kind == "disable-file":
+            self.file_wide |= rules
+        else:
+            self.by_line.setdefault(line, set()).update(rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        for active in (self.file_wide, self.by_line.get(line, ())):
+            if rule in active or "all" in active:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract cosmolint directives from ``source``'s comments."""
+    suppressions = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE_RE.search(token.string)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group("rules").split(",")}
+            rules.discard("")
+            if rules:
+                suppressions.add(match.group("kind"), token.start[0], rules)
+    except tokenize.TokenizeError:
+        pass  # the engine reports the syntax error separately
+    return suppressions

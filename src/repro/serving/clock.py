@@ -7,7 +7,7 @@ not sleep.
 
 from __future__ import annotations
 
-__all__ = ["SimClock"]
+__all__ = ["SimClock", "SECONDS_PER_DAY"]
 
 SECONDS_PER_DAY = 86_400.0
 
@@ -29,6 +29,22 @@ class SimClock:
 
     def advance_days(self, days: float) -> float:
         return self.advance(days * SECONDS_PER_DAY)
+
+    def sleep_until(self, timestamp: float) -> float:
+        """Advance to an absolute simulated time (no-op when already there).
+
+        Raises :class:`ValueError` when ``timestamp`` is in the past —
+        a sleep can only end in the future.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot sleep until {timestamp}: already at {self._now}"
+            )
+        return self.advance(timestamp - self._now)
+
+    def next_day_start(self) -> float:
+        """Simulated timestamp of the next day boundary."""
+        return (self.day + 1) * SECONDS_PER_DAY
 
     @property
     def day(self) -> int:

@@ -405,5 +405,8 @@ class CosmoService:
                     self.features.put(key, generation.text)
                     self._last_good[key] = generation.text
                     refreshed += 1
-        self.clock.advance_days(1)
+        # The refresh runs at end of day: sleep to the next day boundary
+        # so every simulated day starts at exactly day * SECONDS_PER_DAY
+        # regardless of how much request latency accumulated during it.
+        self.clock.sleep_until(self.clock.next_day_start())
         return {"promoted": promoted, "refreshed": refreshed, "redriven": redriven}

@@ -1,0 +1,54 @@
+"""SimClock unit tests: monotonicity errors and sleep_until arithmetic."""
+
+import pytest
+
+from repro.serving.clock import SECONDS_PER_DAY, SimClock
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    assert clock.advance(1.5) == 1.5
+    assert clock.now() == 1.5
+
+
+def test_advance_rejects_negative_seconds():
+    clock = SimClock(start=10.0)
+    with pytest.raises(ValueError, match="time cannot move backwards"):
+        clock.advance(-0.001)
+    assert clock.now() == 10.0  # the failed advance must not move time
+
+
+def test_sleep_until_advances_to_absolute_time():
+    clock = SimClock(start=5.0)
+    assert clock.sleep_until(12.0) == 12.0
+    assert clock.now() == 12.0
+
+
+def test_sleep_until_now_is_a_noop():
+    clock = SimClock(start=7.0)
+    assert clock.sleep_until(7.0) == 7.0
+
+
+def test_sleep_until_rejects_past_timestamps():
+    clock = SimClock(start=100.0)
+    with pytest.raises(ValueError, match="cannot sleep until"):
+        clock.sleep_until(99.9)
+    assert clock.now() == 100.0
+
+
+def test_next_day_start_boundary_arithmetic():
+    clock = SimClock()
+    assert clock.next_day_start() == SECONDS_PER_DAY
+    clock.advance(SECONDS_PER_DAY + 123.0)  # a bit into day 1
+    assert clock.day == 1
+    assert clock.next_day_start() == 2 * SECONDS_PER_DAY
+    clock.sleep_until(clock.next_day_start())
+    assert clock.day == 2
+    assert clock.now() == 2 * SECONDS_PER_DAY
+
+
+def test_advance_days_and_day_property():
+    clock = SimClock()
+    clock.advance_days(2.5)
+    assert clock.day == 2
+    assert clock.now() == 2.5 * SECONDS_PER_DAY

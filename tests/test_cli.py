@@ -39,3 +39,14 @@ def test_inspect_kg(tmp_path, capsys):
 def test_generate_requires_arguments():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["generate", "--query", "x"])  # missing required
+
+
+def test_lint_subcommand_delegates_to_cosmolint(tmp_path, capsys):
+    dirty = tmp_path / "mod.py"
+    dirty.write_text("import numpy as np\nr = np.random.default_rng(1)\n")
+    assert main(["lint", str(dirty)]) == 1
+    assert "[unscoped-rng]" in capsys.readouterr().out
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main(["lint", str(clean)]) == 0
