@@ -77,7 +77,8 @@ def test_chaos_runs_are_deterministic():
                          requests_per_day=600, days=1)
     first, second = run_chaos(config), run_chaos(config)
     assert first.availability == second.availability
-    assert first.latencies_s == second.latencies_s
+    assert (first.latency.count, first.latency.sum, first.latency.bucket_counts()) \
+        == (second.latency.count, second.latency.sum, second.latency.bucket_counts())
     assert (first.retries, first.dead_lettered, first.rejected_generations) == (
         second.retries, second.dead_lettered, second.rejected_generations)
 

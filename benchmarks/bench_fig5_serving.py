@@ -39,12 +39,13 @@ def _traffic(world, n_requests: int, seed: int) -> list[str]:
     return [queries[int(i)].text for i in picks]
 
 
-def test_fig5_serving_deployment(bench_pipeline, benchmark):
+def test_fig5_serving_deployment(bench_pipeline, benchmark, obs_registry):
     world = bench_pipeline.world
     lm = bench_pipeline.cosmo_lm
     traffic = _traffic(world, n_requests=4000, seed=7)
 
-    service = CosmoService(lm, fallback_response="")
+    service = CosmoService(lm, fallback_response="",
+                           registry=obs_registry, name="cached")
     # Pre-load layer 1 with the "yearly frequent searches": the head of
     # the traffic distribution.
     from collections import Counter
@@ -61,13 +62,24 @@ def test_fig5_serving_deployment(bench_pipeline, benchmark):
     service.daily_refresh(refresh_stale=False)
 
     stats = service.cache.stats
-    cached_p99 = service.metrics.p99
 
-    # Direct-teacher serving of a small slice of the same traffic.
-    teacher_service = CosmoService(_TeacherAdapter(TeacherLLM(world, seed=7)))
+    # Direct-teacher serving of a small slice of the same traffic, sharing
+    # the registry: both arms land in one metrics surface, split by the
+    # ``service`` label.
+    teacher_service = CosmoService(_TeacherAdapter(TeacherLLM(world, seed=7)),
+                                   registry=obs_registry, name="direct")
     for query in traffic[:25]:
         teacher_service.handle_request_direct(query)
-    direct_p50 = teacher_service.metrics.p50
+
+    # Read the headline numbers back off the shared registry rather than
+    # the service objects — what the snapshot artifact will contain.
+    latency = obs_registry.get("serving_request_latency_seconds")
+    cached_p99 = latency.labels(service="cached").percentile(99)
+    direct_p50 = latency.labels(service="direct").percentile(50)
+    cache_requests = obs_registry.get("cache_requests_total")
+    registry_hits = (cache_requests.labels(store="cached", outcome="layer1_hit").value
+                     + cache_requests.labels(store="cached", outcome="layer2_hit").value)
+    assert registry_hits == stats.layer1_hits + stats.layer2_hits
 
     table = Table("Figure 5 — serving simulation (one day of traffic)",
                   ["Metric", "Value"])

@@ -9,12 +9,14 @@ output capturing.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 from repro.behavior import WorldConfig
 from repro.core import CosmoLMConfig, CosmoPipeline, PipelineConfig
+from repro.obs import MetricsRegistry, snapshot, validate_snapshot
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -42,6 +44,25 @@ def bench_pipeline():
 @pytest.fixture(scope="session")
 def bench_world(bench_pipeline):
     return bench_pipeline.world
+
+
+@pytest.fixture
+def obs_registry(request):
+    """A per-bench metrics registry, snapshotted to results/ on teardown.
+
+    Benches that wire their services/pipelines onto this registry get a
+    ``<test name>.metrics.json`` artifact next to their result table, so
+    cache hit rates and latency percentiles are inspectable after CI.
+    """
+    registry = MetricsRegistry()
+    yield registry
+    if not len(registry):
+        return
+    snap = snapshot(registry)
+    validate_snapshot(snap)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{request.node.name}.metrics.json"
+    path.write_text(json.dumps(snap, sort_keys=True, indent=2) + "\n")
 
 
 def publish(name: str, text: str) -> None:

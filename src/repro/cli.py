@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli generate --seed 7 --query "winter camping essentials" \
         --product-type "camping tent" --domain "Sports & Outdoors"
     python -m repro.cli chaos --seed 7 --fault-rate 0.1
+    python -m repro.cli obs --seed 7 --out-trace trace.json --out-metrics metrics.json
 """
 
 from __future__ import annotations
@@ -128,6 +129,89 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run a small pipeline + one serving day under full observability.
+
+    The trace and metrics artifacts are timed entirely on simulated
+    clocks, so two runs with the same seed produce byte-identical files;
+    only the wall-clock profile printed at the end differs.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        WallProfiler,
+        chrome_trace,
+        render_text,
+        snapshot,
+        validate_chrome_trace,
+        validate_snapshot,
+    )
+    from repro.serving import CosmoService
+    from repro.utils.rng import spawn_rng
+
+    registry = MetricsRegistry()
+    profiler = WallProfiler()
+
+    print(f"Pipeline run under tracing (seed={args.seed}, scale={args.scale})...")
+    config = _pipeline_config(args.seed, args.scale, args.lm_epochs)
+    pipeline = CosmoPipeline(config, registry=registry, tracer=Tracer())
+    with profiler.section("pipeline.run"):
+        result = pipeline.run()
+    if result.cosmo_lm is None:
+        print("error: pipeline produced no COSMO-LM; nothing to serve")
+        return 2
+
+    print(f"Serving one simulated day ({args.requests} requests)...")
+    service = CosmoService(result.cosmo_lm, registry=registry, name="cosmo")
+    world = result.world
+    queries = world.queries.broad()
+    weights = np.array([q.popularity for q in queries], dtype=float)
+    weights /= weights.sum()
+    rng = spawn_rng(args.seed, "obs-traffic")
+    picks = rng.choice(len(queries), size=args.requests, p=weights)
+    traffic = [queries[int(i)].text for i in picks]
+    with profiler.section("serving.day"):
+        for start in range(0, len(traffic), args.chunk):
+            for query in traffic[start : start + args.chunk]:
+                service.handle_request(query)
+            service.run_batch()
+        service.daily_refresh(refresh_stale=False)
+
+    trace = chrome_trace([("pipeline", pipeline.tracer),
+                          ("serving", service.tracer)])
+    validate_chrome_trace(trace)
+    snap = snapshot(registry)
+    validate_snapshot(snap)
+    if args.out_trace:
+        with open(args.out_trace, "w") as handle:
+            handle.write(json.dumps(trace, sort_keys=True, indent=2) + "\n")
+        print(f"Wrote Chrome trace to {args.out_trace}")
+    if args.out_metrics:
+        with open(args.out_metrics, "w") as handle:
+            handle.write(json.dumps(snap, sort_keys=True, indent=2) + "\n")
+        print(f"Wrote metrics snapshot to {args.out_metrics}")
+
+    print("\npipeline spans (simulated LLM seconds):")
+    print(pipeline.tracer.render_tree())
+    print("\nserving spans (SimClock seconds):")
+    print(service.tracer.render_tree())
+    print("\nmetrics:")
+    print(render_text(registry))
+
+    metrics = service.metrics
+    accounted = metrics.served_fresh + metrics.degraded_serves + metrics.fallbacks
+    ok = accounted == metrics.requests
+    print(f"\nrequest accounting: served_fresh + degraded + fallbacks = "
+          f"{accounted} == requests = {metrics.requests}: {'OK' if ok else 'VIOLATED'}")
+    print()
+    print(profiler.report())
+    return 0 if ok else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -178,6 +262,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--outage-demo", action="store_true",
                        help="also run the scripted sustained-outage scenario")
     chaos.set_defaults(func=cmd_chaos)
+
+    obs = sub.add_parser(
+        "obs",
+        help="run a small pipeline + serving day under tracing; dump artifacts")
+    obs.add_argument("--seed", type=int, default=7)
+    obs.add_argument("--scale", type=float, default=0.3)
+    obs.add_argument("--lm-epochs", type=int, default=4)
+    obs.add_argument("--requests", type=int, default=600,
+                     help="requests in the simulated serving day")
+    obs.add_argument("--chunk", type=int, default=200,
+                     help="requests between batch-processing cycles")
+    obs.add_argument("--out-trace", type=str, default="",
+                     help="write Chrome trace-event JSON here")
+    obs.add_argument("--out-metrics", type=str, default="",
+                     help="write the metrics snapshot JSON here")
+    obs.set_defaults(func=cmd_obs)
 
     lint = sub.add_parser(
         "lint", help="run cosmolint, the repo's static invariant checker")

@@ -34,6 +34,8 @@ from repro.core.triples import BehaviorSample, KnowledgeCandidate, KnowledgeTrip
 from repro.embeddings.encoder import TextEncoder
 from repro.llm.interface import LatencyModel
 from repro.llm.teacher import TeacherLLM
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.utils.rng import spawn_rng
 
 __all__ = ["PipelineConfig", "PipelineResult", "CosmoPipeline"]
@@ -95,96 +97,168 @@ class PipelineResult:
 
 
 class CosmoPipeline:
-    """Drives the full offline knowledge-generation flow."""
+    """Drives the full offline knowledge-generation flow.
 
-    def __init__(self, config: PipelineConfig | None = None):
+    Observability: per-stage spans land on ``tracer`` (timed on simulated
+    LLM seconds — the run's only notion of elapsed time — so traces
+    replay bit-identically), and per-stage item counts plus simulated
+    LLM seconds land on ``registry``.  Both default to private instances
+    so the pipeline stays dependency-free for callers that don't care.
+    """
+
+    def __init__(self, config: PipelineConfig | None = None,
+                 registry: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None):
         self.config = config or PipelineConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer or Tracer()
+        self._stage_items = self.registry.counter(
+            "pipeline_stage_items_total",
+            "items produced by each pipeline stage", ("stage",),
+        )
+        self._llm_seconds = self.registry.counter(
+            "pipeline_llm_simulated_seconds_total",
+            "simulated LLM seconds consumed, by model", ("model",),
+        )
+
+    def _count(self, stage: str, items: int) -> None:
+        self._stage_items.labels(stage=stage).inc(items)
 
     # ------------------------------------------------------------------
     def run(self) -> PipelineResult:
         cfg = self.config
-        world = World(cfg.world)
         teacher_latency = LatencyModel()
         lm_latency = LatencyModel()
 
+        # The pipeline's deterministic timebase: simulated LLM seconds
+        # accumulated so far.  Stages that never touch a model have zero
+        # duration by construction; LLM-bound stages show their true
+        # simulated cost.
+        def sim_clock() -> float:
+            return teacher_latency.total_simulated_s + lm_latency.total_simulated_s
+
+        with self.tracer.clocked(sim_clock), \
+                self.tracer.span("pipeline.run", seed=cfg.seed):
+            result = self._run(cfg, teacher_latency, lm_latency)
+        self._llm_seconds.labels(model="teacher").inc(teacher_latency.total_simulated_s)
+        self._llm_seconds.labels(model="cosmo_lm").inc(lm_latency.total_simulated_s)
+        return result
+
+    def _run(self, cfg: PipelineConfig, teacher_latency: LatencyModel,
+             lm_latency: LatencyModel) -> PipelineResult:
+        world = World(cfg.world)
+
         # 1. Behavior simulation (the raw logs).
-        cobuy = simulate_cobuy(world, pairs_per_domain=cfg.cobuy_pairs_per_domain, seed=cfg.seed)
-        searchbuy = simulate_searchbuy(
-            world, records_per_domain=cfg.searchbuy_records_per_domain, seed=cfg.seed
-        )
+        with self.tracer.span("pipeline.behavior_simulation") as span:
+            cobuy = simulate_cobuy(
+                world, pairs_per_domain=cfg.cobuy_pairs_per_domain, seed=cfg.seed
+            )
+            searchbuy = simulate_searchbuy(
+                world, records_per_domain=cfg.searchbuy_records_per_domain, seed=cfg.seed
+            )
+            span.set_attribute("cobuy_pairs", len(cobuy))
+            span.set_attribute("searchbuy_records", len(searchbuy))
+        self._count("behavior_simulation", len(cobuy) + len(searchbuy))
 
         # 2. Representative behavior sampling (§3.2.1).
-        selected = sample_products(world, cobuy, searchbuy, cfg.sampling.top_product_fraction)
-        samples = sample_cobuy(world, cobuy, selected, cfg.sampling)
-        samples += sample_searchbuy(world, searchbuy, cfg.sampling)
+        with self.tracer.span("pipeline.behavior_sampling") as span:
+            selected = sample_products(
+                world, cobuy, searchbuy, cfg.sampling.top_product_fraction
+            )
+            samples = sample_cobuy(world, cobuy, selected, cfg.sampling)
+            samples += sample_searchbuy(world, searchbuy, cfg.sampling)
+            span.set_attribute("samples", len(samples))
+        self._count("behavior_sampling", len(samples))
 
         # 3. Teacher harvesting (§3.2.2).
-        teacher = TeacherLLM(world, latency=teacher_latency, seed=cfg.seed)
-        candidates = generate_candidates(
-            world,
-            teacher,
-            samples,
-            candidates_per_sample=cfg.candidates_per_sample,
-            seed=cfg.seed,
-        )
-
-        # 4. Refinement (§3.3.1).
-        encoder = TextEncoder(seed=cfg.seed)
-        knowledge_filter = KnowledgeFilter(encoder, config=cfg.filter)
-        filtered, filter_report = knowledge_filter.apply(candidates)
-
-        # 5. Annotation sampling (Eq. 2) + human-in-the-loop labeling.
-        per_behavior_budget = cfg.annotation_budget // 2
-        annotated_candidates: list[KnowledgeCandidate] = []
-        for behavior in ("co-buy", "search-buy"):
-            pool = [c for c in filtered if c.sample.behavior == behavior]
-            annotated_candidates += sample_for_annotation(
-                pool,
-                cobuy,
-                searchbuy,
-                budget=per_behavior_budget,
-                uniform=cfg.uniform_annotation_sampling,
+        with self.tracer.span("pipeline.teacher_generation") as span:
+            teacher = TeacherLLM(world, latency=teacher_latency, seed=cfg.seed)
+            candidates = generate_candidates(
+                world,
+                teacher,
+                samples,
+                candidates_per_sample=cfg.candidates_per_sample,
                 seed=cfg.seed,
             )
-        annotators = AnnotatorPool(seed=cfg.seed)
-        annotations = annotators.annotate_batch(
-            [(c.candidate_id, c.truth.quality) for c in annotated_candidates]
-        )
-        qualities = {c.candidate_id: c.truth.quality for c in annotated_candidates}
-        audit = audit_annotations(annotations, qualities, seed=cfg.seed)
-        quality_ratios = self._quality_ratios(annotated_candidates, annotations)
+            span.set_attribute("candidates", len(candidates))
+        self._count("teacher_generation", len(candidates))
+
+        # 4. Refinement (§3.3.1).
+        with self.tracer.span("pipeline.filtering") as span:
+            encoder = TextEncoder(seed=cfg.seed)
+            knowledge_filter = KnowledgeFilter(encoder, config=cfg.filter)
+            filtered, filter_report = knowledge_filter.apply(candidates)
+            span.set_attribute("kept", len(filtered))
+        self._count("filtering", len(filtered))
+
+        # 5. Annotation sampling (Eq. 2) + human-in-the-loop labeling.
+        with self.tracer.span("pipeline.annotation") as span:
+            per_behavior_budget = cfg.annotation_budget // 2
+            annotated_candidates: list[KnowledgeCandidate] = []
+            for behavior in ("co-buy", "search-buy"):
+                pool = [c for c in filtered if c.sample.behavior == behavior]
+                annotated_candidates += sample_for_annotation(
+                    pool,
+                    cobuy,
+                    searchbuy,
+                    budget=per_behavior_budget,
+                    uniform=cfg.uniform_annotation_sampling,
+                    seed=cfg.seed,
+                )
+            annotators = AnnotatorPool(seed=cfg.seed)
+            annotations = annotators.annotate_batch(
+                [(c.candidate_id, c.truth.quality) for c in annotated_candidates]
+            )
+            qualities = {c.candidate_id: c.truth.quality for c in annotated_candidates}
+            audit = audit_annotations(annotations, qualities, seed=cfg.seed)
+            quality_ratios = self._quality_ratios(annotated_candidates, annotations)
+            span.set_attribute("annotated", len(annotations))
+        self._count("annotation", len(annotations))
 
         # 6. Critic training and population (§3.3.2).  ``annotated_candidates``
         # is ordered co-buy-then-search-buy, so a positional 85/15 split would
         # evaluate on a single behavior; shuffle with the run seed first.
-        critic = CriticClassifier(encoder, config=cfg.critic, seed=cfg.seed)
-        order = spawn_rng(cfg.seed, "critic-split").permutation(len(annotated_candidates))
-        shuffled_candidates = [annotated_candidates[i] for i in order]
-        shuffled_annotations = [annotations[i] for i in order]
-        split = max(1, int(len(shuffled_candidates) * 0.85))
-        critic.fit(shuffled_candidates[:split], shuffled_annotations[:split])
-        if split < len(shuffled_candidates):
-            critic_accuracy = critic.accuracy(
-                shuffled_candidates[split:], shuffled_annotations[split:]
-            )
-        else:
-            critic_accuracy = {"plausibility": float("nan"), "typicality": float("nan")}
-        refined = critic.populate(filtered)
+        with self.tracer.span("pipeline.critic") as span:
+            critic = CriticClassifier(encoder, config=cfg.critic, seed=cfg.seed)
+            order = spawn_rng(cfg.seed, "critic-split").permutation(len(annotated_candidates))
+            shuffled_candidates = [annotated_candidates[i] for i in order]
+            shuffled_annotations = [annotations[i] for i in order]
+            split = max(1, int(len(shuffled_candidates) * 0.85))
+            critic.fit(shuffled_candidates[:split], shuffled_annotations[:split])
+            if split < len(shuffled_candidates):
+                critic_accuracy = critic.accuracy(
+                    shuffled_candidates[split:], shuffled_annotations[split:]
+                )
+            else:
+                critic_accuracy = {"plausibility": float("nan"), "typicality": float("nan")}
+            refined = critic.populate(filtered)
+            span.set_attribute("refined", len(refined))
+        self._count("critic", len(refined))
 
         # 7. Instruction data (§3.4) and COSMO-LM finetuning.
-        instruction_dataset = build_instruction_dataset(
-            world, annotated_candidates, annotations, seed=cfg.seed
-        )
+        with self.tracer.span("pipeline.instruction_build") as span:
+            instruction_dataset = build_instruction_dataset(
+                world, annotated_candidates, annotations, seed=cfg.seed
+            )
+            span.set_attribute("examples", len(instruction_dataset))
+        self._count("instruction_build", len(instruction_dataset))
+
         cosmo_lm: CosmoLM | None = None
         if cfg.finetune_lm and len(instruction_dataset):
-            cosmo_lm = CosmoLM(config=cfg.lm, seed=cfg.seed, latency=lm_latency)
-            cosmo_lm.finetune(instruction_dataset)
+            with self.tracer.span("pipeline.lm_finetune") as span:
+                cosmo_lm = CosmoLM(config=cfg.lm, seed=cfg.seed, latency=lm_latency)
+                cosmo_lm.finetune(instruction_dataset)
+                span.set_attribute("examples", len(instruction_dataset))
+            self._count("lm_finetune", len(instruction_dataset))
 
         # 8. KG assembly: refined teacher knowledge + COSMO-LM expansion.
-        kg = KnowledgeGraph()
-        kg.extend([self._to_triple(c) for c in refined])
-        if cosmo_lm is not None and cfg.expand_with_lm:
-            kg.extend(self._expand(world, cosmo_lm, critic, samples))
+        with self.tracer.span("pipeline.kg_assembly") as span:
+            kg = KnowledgeGraph()
+            kg.extend([self._to_triple(c) for c in refined])
+            if cosmo_lm is not None and cfg.expand_with_lm:
+                kg.extend(self._expand(world, cosmo_lm, critic, samples))
+            span.set_attribute("triples", len(kg))
+        self._count("kg_assembly", len(kg))
 
         return PipelineResult(
             config=cfg,

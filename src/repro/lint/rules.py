@@ -2,14 +2,15 @@
 
 Each rule encodes an invariant the reproduction's regression numbers or
 serving benches rely on; DESIGN.md ("Static invariants") documents the
-mapping.  Rules are scoped by path where the contract is local (wall
-clock only matters under ``serving/`` and ``benchmarks/``; float
-equality only in metrics code).
+mapping.  Rules are scoped by path where the contract is local (float
+equality only matters in metrics code) or carry an explicit allowlist
+(wall-clock time is banned repo-wide except ``obs/timebase.py``).
 """
 
 from __future__ import annotations
 
 import ast
+from typing import ClassVar
 
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.registry import FileContext, LintRule, register
@@ -107,16 +108,23 @@ class UnscopedRngRule(LintRule):
 
 @register
 class WallClockRule(LintRule):
-    """Ban wall-clock time in the serving layer and benchmarks.
+    """Ban wall-clock time everywhere except the sanctioned timebase.
 
     The serving layer (§3.5, Figure 5) runs entirely on simulated
-    :class:`~repro.serving.clock.SimClock` time, so chaos and latency
-    benches are deterministic and never sleep for real.
+    :class:`~repro.serving.clock.SimClock` time and the pipeline on
+    simulated LLM seconds, so traces, chaos scenarios and latency
+    benches are deterministic and never sleep for real.  Real elapsed-
+    time profiling flows through one narrow waist —
+    :mod:`repro.obs.timebase`, the sole ``allowlist`` entry — and a
+    wall-clock call anywhere else is an error.
     """
 
     id = "wall-clock"
-    summary = "serving/benchmark code must use SimClock, never wall-clock time"
-    invariant = "deterministic, sleep-free serving and chaos benches"
+    summary = "use simulated clocks; wall-clock calls only in obs/timebase.py"
+    invariant = "deterministic, sleep-free pipeline, serving and chaos benches"
+
+    #: ``/``-separated path suffixes where wall-clock calls are permitted.
+    allowlist: ClassVar[tuple[str, ...]] = ("obs/timebase.py",)
 
     _BANNED = {
         "time.time",
@@ -135,7 +143,11 @@ class WallClockRule(LintRule):
 
     @classmethod
     def applies_to(cls, context: FileContext) -> bool:
-        return "serving" in context.parts or "benchmarks" in context.parts
+        for entry in cls.allowlist:
+            suffix = tuple(entry.split("/"))
+            if context.parts[-len(suffix):] == suffix:
+                return False
+        return True
 
     def check(self, tree: ast.Module) -> list[Diagnostic]:
         self._imports = ImportMap(tree)
@@ -146,8 +158,8 @@ class WallClockRule(LintRule):
         if name in self._BANNED:
             self.report(
                 node,
-                f"call to {name} reads the wall clock; serving and benchmark "
-                "code must go through SimClock",
+                f"call to {name} reads the wall clock; time must come from a "
+                "simulated clock (only obs/timebase.py may read real time)",
             )
         self.generic_visit(node)
 

@@ -1,0 +1,53 @@
+"""Unified observability layer: metrics, tracing, and profiling.
+
+Three dependency-free parts (DESIGN.md §9):
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  counters, gauges and fixed-bucket streaming histograms (bounded
+  memory, percentile estimates without sample lists);
+* :mod:`repro.obs.tracing` — a :class:`Tracer` of nested spans timed on
+  an *injectable clock callable*, exporting Chrome trace-event JSON;
+* :mod:`repro.obs.timebase` — the sole sanctioned wall-clock call site,
+  for real-time profiling only.
+
+Exporters live in :mod:`repro.obs.export` (text, JSON snapshot with a
+validating schema, Prometheus exposition format).
+"""
+
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA,
+    render_prometheus,
+    render_text,
+    snapshot,
+    validate_snapshot,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.timebase import WallProfiler, wall_now
+from repro.obs.tracing import Span, Tracer, chrome_trace, validate_chrome_trace
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "SNAPSHOT_SCHEMA",
+    "snapshot",
+    "render_text",
+    "render_prometheus",
+    "validate_snapshot",
+    "WallProfiler",
+    "wall_now",
+]

@@ -1,0 +1,200 @@
+"""Registry exporters: JSON snapshot, text rendering, Prometheus text.
+
+The JSON snapshot is the machine-readable contract (schema id
+``repro.obs.metrics/v1``) the CI obs-smoke step and the benchmark
+conftest validate against via :func:`validate_snapshot`; it is fully
+deterministic for deterministic metric values (families sorted by name,
+samples sorted by label values, no timestamps).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.obs.metrics import Histogram, MetricFamily, MetricsRegistry
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "snapshot",
+    "render_text",
+    "render_prometheus",
+    "validate_snapshot",
+]
+
+SNAPSHOT_SCHEMA = "repro.obs.metrics/v1"
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _bound_repr(bound: float) -> str | float:
+    return "+Inf" if math.isinf(bound) else bound
+
+
+def snapshot(registry: MetricsRegistry) -> dict:
+    """Deterministic JSON-able snapshot of every family and sample."""
+    metrics = []
+    for family in registry.families():
+        samples = []
+        for labels, child in family.samples():
+            sample: dict = {"labels": labels}
+            if isinstance(child, Histogram):
+                sample.update(
+                    count=child.count,
+                    sum=child.sum,
+                    min=child.min,
+                    max=child.max,
+                    p50=child.percentile(50),
+                    p99=child.percentile(99),
+                    buckets=[
+                        {"le": _bound_repr(bound), "count": count}
+                        for bound, count in child.bucket_counts()
+                    ],
+                )
+            else:
+                sample["value"] = child.value
+            samples.append(sample)
+        metrics.append({
+            "name": family.name,
+            "kind": family.kind,
+            "help": family.help,
+            "labelnames": list(family.labelnames),
+            "samples": samples,
+        })
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": metrics}
+
+
+def _format_value(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.6g}"
+
+
+def _label_suffix(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """Human-readable rendering of the registry (one line per sample)."""
+    lines = []
+    for family in registry.families():
+        header = f"# {family.name} ({family.kind})"
+        if family.help:
+            header += f" — {family.help}"
+        lines.append(header)
+        for labels, child in family.samples():
+            suffix = _label_suffix(labels)
+            if isinstance(child, Histogram):
+                lines.append(
+                    f"{family.name}{suffix} count={child.count} "
+                    f"sum={_format_value(child.sum)} min={_format_value(child.min)} "
+                    f"p50={_format_value(child.percentile(50))} "
+                    f"p99={_format_value(child.percentile(99))} "
+                    f"max={_format_value(child.max)}"
+                )
+            else:
+                lines.append(f"{family.name}{suffix} {_format_value(child.value)}")
+    return "\n".join(lines)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus exposition-format rendering (text format 0.0.4)."""
+    lines = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.samples():
+            if isinstance(child, Histogram):
+                for bound, count in child.bucket_counts():
+                    le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                    suffix = _label_suffix(labels, f'le="{le}"')
+                    lines.append(f"{family.name}_bucket{suffix} {count}")
+                suffix = _label_suffix(labels)
+                lines.append(f"{family.name}_sum{suffix} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{suffix} {child.count}")
+            else:
+                suffix = _label_suffix(labels)
+                lines.append(f"{family.name}{suffix} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _fail(where: str, message: str) -> None:
+    raise ValueError(f"invalid metrics snapshot at {where}: {message}")
+
+
+def _check_number(where: str, value: object) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(where, f"expected a number, got {type(value).__name__}")
+
+
+def validate_snapshot(payload: object) -> None:
+    """Raise :class:`ValueError` unless ``payload`` matches the
+    ``repro.obs.metrics/v1`` snapshot schema produced by :func:`snapshot`."""
+    if not isinstance(payload, Mapping):
+        raise ValueError("snapshot must be a JSON object")
+    if payload.get("schema") != SNAPSHOT_SCHEMA:
+        _fail("schema", f"expected {SNAPSHOT_SCHEMA!r}, got {payload.get('schema')!r}")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, list):
+        _fail("metrics", "expected a list")
+    for m_index, metric in enumerate(metrics):
+        where = f"metrics[{m_index}]"
+        if not isinstance(metric, Mapping):
+            _fail(where, "expected an object")
+        name = metric.get("name")
+        if not isinstance(name, str) or not name:
+            _fail(f"{where}.name", "expected a non-empty string")
+        kind = metric.get("kind")
+        if kind not in _KINDS:
+            _fail(f"{where}.kind", f"expected one of {_KINDS}, got {kind!r}")
+        if not isinstance(metric.get("labelnames"), list):
+            _fail(f"{where}.labelnames", "expected a list")
+        samples = metric.get("samples")
+        if not isinstance(samples, list):
+            _fail(f"{where}.samples", "expected a list")
+        for s_index, sample in enumerate(samples):
+            s_where = f"{where}.samples[{s_index}]"
+            if not isinstance(sample, Mapping):
+                _fail(s_where, "expected an object")
+            labels = sample.get("labels")
+            if not isinstance(labels, Mapping):
+                _fail(f"{s_where}.labels", "expected an object")
+            if sorted(labels) != sorted(metric["labelnames"]):
+                _fail(f"{s_where}.labels", "label keys must match labelnames")
+            if kind == "histogram":
+                _validate_histogram_sample(s_where, sample)
+            else:
+                _check_number(f"{s_where}.value", sample.get("value"))
+
+
+def _validate_histogram_sample(where: str, sample: Mapping) -> None:
+    for key in ("sum", "min", "max", "p50", "p99"):
+        _check_number(f"{where}.{key}", sample.get(key))
+    count = sample.get("count")
+    if not isinstance(count, int) or count < 0:
+        _fail(f"{where}.count", "expected a non-negative integer")
+    buckets = sample.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        _fail(f"{where}.buckets", "expected a non-empty list")
+    previous = 0
+    for b_index, bucket in enumerate(buckets):
+        b_where = f"{where}.buckets[{b_index}]"
+        if not isinstance(bucket, Mapping):
+            _fail(b_where, "expected an object")
+        bucket_count = bucket.get("count")
+        if not isinstance(bucket_count, int) or bucket_count < previous:
+            _fail(f"{b_where}.count", "bucket counts must be non-decreasing integers")
+        previous = bucket_count
+        le = bucket.get("le")
+        if le != "+Inf":
+            _check_number(f"{b_where}.le", le)
+    if buckets[-1].get("le") != "+Inf":
+        _fail(f"{where}.buckets", "last bucket must be the +Inf overflow bucket")
+    if previous != count:
+        _fail(f"{where}.buckets", "cumulative bucket count must equal sample count")

@@ -1,0 +1,310 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` holds named metric families; a family fans
+out into labeled children (one instrument per label-value combination),
+mirroring the Prometheus data model so the exposition exporter in
+:mod:`repro.obs.export` is a direct rendering.
+
+The :class:`Histogram` is a *streaming* fixed-bucket estimator: it keeps
+one integer per bucket plus exact ``count``/``sum``/``min``/``max`` and
+never stores individual samples, so metric memory stays O(buckets)
+regardless of traffic volume — the fix for the unbounded
+``request_latencies_s`` list the serving layer used to grow.  Percentile
+estimates interpolate linearly inside the bucket that contains the
+requested rank, clamped to the observed ``[min, max]`` range, which
+keeps them exact when a bucket holds a single repeated value (the common
+case for the fixed cache/degraded latencies).
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Iterable, Iterator
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+]
+
+#: Log-ish spaced latency buckets (seconds) spanning cache lookups
+#: (~2 ms) through direct 30B-parameter model calls (whole minutes).
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.0005, 0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064,
+    0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 120.0,
+)
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Counter:
+    """A monotonically increasing value (requests, retries, ...)."""
+
+    kind = "counter"
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got inc({amount})")
+        self._value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, breaker state)."""
+
+    kind = "gauge"
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+
+class Histogram:
+    """Fixed-bucket streaming distribution with percentile estimates.
+
+    ``bounds`` are strictly increasing bucket upper bounds with ``le``
+    (less-or-equal) semantics; one implicit overflow bucket catches
+    everything above the last bound.  Memory is O(len(bounds)) forever.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "_counts", "count", "sum", "_min", "_max")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_S):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    @property
+    def min(self) -> float:
+        return 0.0 if self._min is None else self._min
+
+    @property
+    def max(self) -> float:
+        return 0.0 if self._max is None else self._max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs; the overflow bucket
+        is reported with ``float('inf')`` as its bound."""
+        cumulative = 0
+        out: list[tuple[float, int]] = []
+        for bound, bucket in zip((*self.bounds, float("inf")), self._counts):
+            cumulative += bucket
+            out.append((bound, cumulative))
+        return out
+
+    def percentile(self, q: float) -> float:
+        """Streaming estimate of the ``q``-th percentile (``q`` in [0, 100]).
+
+        Exact at the extremes (``min``/``max`` are tracked exactly);
+        inside a bucket the estimate interpolates linearly between the
+        bucket's effective bounds.  Monotone in ``q`` by construction.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0 or self._min == self._max:
+            return self.min
+        if q >= 100.0:
+            return self.max
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for index, bucket in enumerate(self._counts):
+            if bucket == 0:
+                continue
+            if cumulative + bucket >= rank:
+                raw_lo = self.bounds[index - 1] if index > 0 else self.min
+                raw_hi = self.bounds[index] if index < len(self.bounds) else self.max
+                lo = max(raw_lo, self.min)
+                hi = max(min(raw_hi, self.max), lo)
+                fraction = (rank - cumulative) / bucket
+                return lo + fraction * (hi - lo)
+            cumulative += bucket
+        return self.max
+
+
+_INSTRUMENTS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and per-label children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ):
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if kind not in _INSTRUMENTS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = buckets
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+    def labels(self, **labels: str) -> Counter | Gauge | Histogram:
+        """The child instrument for one label-value combination."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {sorted(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "histogram":
+                child = Histogram(self.buckets or DEFAULT_LATENCY_BUCKETS_S)
+            else:
+                child = _INSTRUMENTS[self.kind]()
+            self._children[key] = child
+        return child
+
+    def samples(self) -> Iterator[tuple[dict[str, str], Counter | Gauge | Histogram]]:
+        """``(labels, child)`` pairs in deterministic label order."""
+        for key in sorted(self._children):
+            yield dict(zip(self.labelnames, key)), self._children[key]
+
+    # -- unlabeled convenience (valid only when labelnames is empty) ----
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)  # type: ignore[union-attr]
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)  # type: ignore[union-attr]
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)  # type: ignore[union-attr]
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)  # type: ignore[union-attr]
+
+    def percentile(self, q: float) -> float:
+        return self.labels().percentile(q)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> float:
+        return self.labels().value  # type: ignore[union-attr]
+
+
+class MetricsRegistry:
+    """Named metric families with get-or-create registration.
+
+    Re-registering an existing name returns the existing family after
+    validating that kind, label schema and buckets agree — so components
+    sharing a registry (e.g. two :class:`CosmoService` instances in one
+    bench) converge on one family and differ only by label values.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._register(name, "counter", help, labelnames, None)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._register(name, "gauge", help, labelnames, None)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help, labelnames, tuple(buckets))
+
+    def get(self, name: str) -> MetricFamily:
+        return self._families[name]
+
+    def families(self) -> list[MetricFamily]:
+        """Registered families sorted by name (deterministic exports)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"cannot re-register as {kind}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}, got {tuple(labelnames)}"
+                )
+            if kind == "histogram" and buckets is not None and existing.buckets != buckets:
+                raise ValueError(f"metric {name!r} already registered with other buckets")
+            return existing
+        family = MetricFamily(name, kind, help, tuple(labelnames), buckets)
+        self._families[name] = family
+        return family

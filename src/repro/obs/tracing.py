@@ -1,0 +1,191 @@
+"""Span tracing on an injectable clock.
+
+A :class:`Tracer` produces nested :class:`Span` context managers and
+never reads a clock of its own: ``clock`` is any zero-argument callable
+returning seconds.  The serving layer passes ``SimClock.now`` so spans
+are timed on simulated time (keeping chaos/bench determinism and the
+cosmolint ``wall-clock`` contract); the pipeline passes its simulated
+LLM-seconds accumulator.  The only wall-clock timing in the repo lives
+in :mod:`repro.obs.timebase`.
+
+Finished traces export as Chrome trace-event JSON (load into
+``chrome://tracing`` / Perfetto) via :func:`chrome_trace`, or render as
+an indented text tree via :meth:`Tracer.render_tree`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence, Union
+
+__all__ = ["Span", "Tracer", "chrome_trace", "validate_chrome_trace"]
+
+AttrValue = Union[str, int, float, bool]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+@dataclass
+class Span:
+    """One timed operation: name, parentage, attributes, error tag."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    depth: int
+    end_s: float | None = None
+    attributes: dict[str, AttrValue] = field(default_factory=dict)
+    status: str = "ok"
+    error_type: str | None = None
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s if self.end_s is not None else self.start_s) - self.start_s
+
+    def set_attribute(self, key: str, value: AttrValue) -> None:
+        self.attributes[key] = value
+
+
+class Tracer:
+    """Builds nested spans; bounded memory via ``max_spans``.
+
+    Spans beyond ``max_spans`` still time correctly and participate in
+    nesting, but are not retained (``dropped`` counts them) — tracing a
+    long-running service never grows without bound.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 max_spans: int = 10_000):
+        self.clock: Callable[[], float] = clock if clock is not None else _zero_clock
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._spans: list[Span] = []  # retained spans, in start order
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    @contextmanager
+    def span(self, name: str, **attributes: AttrValue) -> Iterator[Span]:
+        """Open a child span of the current span (or a root span)."""
+        record = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start_s=float(self.clock()),
+            depth=len(self._stack),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        if len(self._spans) < self.max_spans:
+            self._spans.append(record)
+        else:
+            self.dropped += 1
+        self._stack.append(record)
+        try:
+            yield record
+        except BaseException as error:
+            record.status = "error"
+            record.error_type = type(error).__name__
+            raise
+        finally:
+            record.end_s = float(self.clock())
+            self._stack.pop()
+
+    @contextmanager
+    def clocked(self, clock: Callable[[], float]) -> Iterator["Tracer"]:
+        """Temporarily time spans on a different clock callable."""
+        previous, self.clock = self.clock, clock
+        try:
+            yield self
+        finally:
+            self.clock = previous
+
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def render_tree(self) -> str:
+        """Indented text rendering of the retained spans."""
+        lines = []
+        for span in self._spans:
+            attrs = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+            status = "" if span.status == "ok" else f" !{span.status}:{span.error_type}"
+            lines.append(
+                f"{'  ' * span.depth}{span.name}  {span.duration_s * 1000:.3f}ms"
+                + (f"  [{attrs}]" if attrs else "") + status
+            )
+        if self.dropped:
+            lines.append(f"... {self.dropped} span(s) dropped (max_spans={self.max_spans})")
+        return "\n".join(lines)
+
+
+def chrome_trace(tracers: Sequence[tuple[str, Tracer]]) -> dict:
+    """Merge tracers into one Chrome trace-event JSON payload.
+
+    Each ``(process_name, tracer)`` pair becomes one pid so timelines
+    with different clocks (pipeline simulated seconds vs serving
+    SimClock) render side by side without sharing an axis.  Complete
+    ("X") events carry span attributes, ids and error status in
+    ``args``.  Output is deterministic for deterministic span times.
+    """
+    events: list[dict] = []
+    for pid, (process, tracer) in enumerate(tracers, start=1):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 1,
+            "args": {"name": process},
+        })
+        for span in tracer.spans():
+            if span.end_s is None:
+                continue
+            args: dict[str, AttrValue] = {
+                "span_id": span.span_id,
+                "parent_id": -1 if span.parent_id is None else span.parent_id,
+                "status": span.status,
+            }
+            if span.error_type is not None:
+                args["error_type"] = span.error_type
+            args.update(span.attributes)
+            events.append({
+                "name": span.name,
+                "cat": process,
+                "ph": "X",
+                "ts": span.start_s * 1e6,  # microseconds
+                "dur": (span.end_s - span.start_s) * 1e6,
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            })
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def validate_chrome_trace(payload: object) -> None:
+    """Raise :class:`ValueError` unless ``payload`` is a structurally
+    valid Chrome trace-event document as produced by :func:`chrome_trace`."""
+    if not isinstance(payload, Mapping):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace payload must have a 'traceEvents' list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, Mapping):
+            raise ValueError(f"{where}: event must be an object")
+        phase = event.get("ph")
+        if phase not in ("M", "X"):
+            raise ValueError(f"{where}: unsupported phase {phase!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"{where}: {key!r} must be an integer")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"{where}: 'name' must be a string")
+        if not isinstance(event.get("args", {}), Mapping):
+            raise ValueError(f"{where}: 'args' must be an object")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise ValueError(f"{where}: {key!r} must be a number")
+            if event["dur"] < 0:
+                raise ValueError(f"{where}: 'dur' must be non-negative")

@@ -11,21 +11,46 @@ hit rate, latency and staleness measurable quantities.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
 from repro.serving.clock import SimClock
 
 __all__ = ["CacheStats", "AsyncCacheStore"]
 
+#: attribute name → (store label value for ``outcome``) on the shared
+#: ``cache_requests_total`` family; evictions get their own counter.
+_OUTCOMES = {
+    "layer1_hits": "layer1_hit",
+    "layer2_hits": "layer2_hit",
+    "misses": "miss",
+}
 
-@dataclass
+
 class CacheStats:
-    """Hit/miss accounting for one cache store."""
+    """Hit/miss accounting for one cache store, registry-backed.
 
-    layer1_hits: int = 0
-    layer2_hits: int = 0
-    misses: int = 0
-    pending_evictions: int = 0
+    Attribute reads and ``+=`` writes keep the pre-observability API;
+    the same counts surface through the registry as
+    ``cache_requests_total{store=...,outcome=...}`` and
+    ``cache_pending_evictions_total{store=...}``.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 store: str = "cache"):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.store = store
+        requests = self.registry.counter(
+            "cache_requests_total", "cache lookups by layer outcome",
+            ("store", "outcome"),
+        )
+        self._counters = {
+            attr: requests.labels(store=store, outcome=outcome)
+            for attr, outcome in _OUTCOMES.items()
+        }
+        self._counters["pending_evictions"] = self.registry.counter(
+            "cache_pending_evictions_total",
+            "pending-queue entries evicted (capacity or age)", ("store",),
+        ).labels(store=store)
 
     @property
     def requests(self) -> int:
@@ -38,6 +63,23 @@ class CacheStats:
         return (self.layer1_hits + self.layer2_hits) / self.requests
 
 
+def _stat_property(attr: str) -> property:
+    def fget(self: CacheStats) -> int:
+        return int(self._counters[attr].value)
+
+    def fset(self: CacheStats, value) -> None:
+        delta = value - self._counters[attr].value
+        if delta < 0:
+            raise ValueError(f"{attr} is a counter; it cannot decrease")
+        self._counters[attr].inc(delta)
+
+    return property(fget, fset)
+
+
+for _attr in (*_OUTCOMES, "pending_evictions"):
+    setattr(CacheStats, _attr, _stat_property(_attr))
+
+
 class AsyncCacheStore:
     """Pre-loaded yearly layer + batch-updated daily layer + miss queue."""
 
@@ -47,6 +89,8 @@ class AsyncCacheStore:
         daily_capacity: int = 10_000,
         pending_capacity: int = 50_000,
         pending_max_age_days: int = 3,
+        registry: MetricsRegistry | None = None,
+        name: str = "cache",
     ):
         self._clock = clock
         self._yearly: dict[str, str] = {}
@@ -56,13 +100,23 @@ class AsyncCacheStore:
         self._pending: dict[str, int] = {}  # query → enqueue day
         self._pending_capacity = pending_capacity
         self._pending_max_age_days = pending_max_age_days
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry=registry, store=name)
+        self._size_gauge = self.stats.registry.gauge(
+            "cache_entries", "live cache entries by layer", ("store", "layer"),
+        )
+        self._name = name
         self.request_log: Counter = Counter()
+
+    def _publish_sizes(self) -> None:
+        self._size_gauge.labels(store=self._name, layer="yearly").set(len(self._yearly))
+        self._size_gauge.labels(store=self._name, layer="daily").set(len(self._daily))
+        self._size_gauge.labels(store=self._name, layer="pending").set(len(self._pending))
 
     # ------------------------------------------------------------------
     def preload_yearly(self, entries: dict[str, str]) -> None:
         """Load the year's frequent-search responses (layer 1)."""
         self._yearly.update(entries)
+        self._publish_sizes()
 
     def lookup(self, query: str) -> str | None:
         """Serve a request; a miss enqueues the query for the next batch."""
@@ -81,6 +135,7 @@ class AsyncCacheStore:
                 del self._pending[oldest]
                 self.stats.pending_evictions += 1
             self._pending[query] = self._clock.day
+        self._publish_sizes()
         return None
 
     def _roll_daily_layer(self) -> None:
@@ -117,6 +172,7 @@ class AsyncCacheStore:
             self._daily[query] = response
             self._pending.pop(query, None)
             installed += 1
+        self._publish_sizes()
         return installed
 
     def drop_pending(self, queries: list[str]) -> int:
@@ -125,6 +181,7 @@ class AsyncCacheStore:
         for query in queries:
             if self._pending.pop(query, None) is not None:
                 dropped += 1
+        self._publish_sizes()
         return dropped
 
     def promote_frequent(self, min_requests: int = 10) -> int:
@@ -134,6 +191,7 @@ class AsyncCacheStore:
             if self.request_log[query] >= min_requests and query not in self._yearly:
                 self._yearly[query] = response
                 promoted += 1
+        self._publish_sizes()
         return promoted
 
     @property

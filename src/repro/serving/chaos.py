@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.llm.interface import Generation, LatencyModel
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S, Histogram
 from repro.serving.clock import SimClock
 from repro.serving.deployment import CosmoService
 from repro.serving.faults import FaultInjector, FaultPlan, FlakyGenerator
@@ -98,7 +99,11 @@ class ChaosReport:
     breaker_opens: int = 0
     breaker_closes: int = 0
     pending_evictions: int = 0
-    latencies_s: list[float] = field(default_factory=list)
+    #: Streaming latency distribution of the measured window — bounded
+    #: memory no matter how many simulated days the scenario covers.
+    latency: Histogram = field(
+        default_factory=lambda: Histogram(DEFAULT_LATENCY_BUCKETS_S)
+    )
 
     @property
     def availability(self) -> float:
@@ -112,9 +117,7 @@ class ChaosReport:
         return (self.served_fresh + self.degraded) / total if total else 1.0
 
     def percentile_ms(self, q: float) -> float:
-        if not self.latencies_s:
-            return 0.0
-        return float(np.percentile(self.latencies_s, q)) * 1000.0
+        return self.latency.percentile(q) * 1000.0
 
 
 def _traffic(config: ChaosConfig, day: int) -> list[str]:
@@ -153,15 +156,15 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
             ] + traffic
         for start in range(0, len(traffic), config.chunk):
             for query in traffic[start : start + config.chunk]:
-                before = len(service.metrics.request_latencies_s)
+                # handle_request advances the clock by exactly the charged
+                # request latency, so the clock delta is the latency.
+                before = clock.now()
                 response = service.handle_request(query)
                 if measuring:
                     report.requests += 1
                     if response == ScriptedGenerator.knowledge_for(query):
                         report.valid += 1
-                    report.latencies_s.extend(
-                        service.metrics.request_latencies_s[before:]
-                    )
+                    report.latency.observe(clock.now() - before)
             service.run_batch()
             clock.advance(config.chunk_gap_s)
         if day == config.warmup_days - 1:

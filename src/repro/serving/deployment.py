@@ -25,10 +25,10 @@ the baseline arm of ``benchmarks/bench_ablation_resilience.py``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
-
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.serving.cache import AsyncCacheStore
 from repro.serving.clock import SimClock
 from repro.serving.faults import GeneratorFault
@@ -46,29 +46,59 @@ __all__ = ["ServingMetrics", "DeadLetter", "CosmoService"]
 _CACHE_LATENCY_S = 0.002
 _DEGRADED_LATENCY_S = 0.004
 
+#: attribute name → (metric name, help) for the integer request counters.
+_COUNTER_SPECS = {
+    "batch_runs": ("serving_batch_runs_total", "batch processing cycles executed"),
+    "batch_queries_processed": (
+        "serving_batch_queries_processed_total", "queries answered by batch runs"),
+    "served_fresh": ("serving_served_fresh_total", "requests served fresh (cache or direct)"),
+    "degraded_serves": ("serving_degraded_serves_total", "requests served stale (degraded)"),
+    "fallbacks": ("serving_fallbacks_total", "requests answered with the fallback response"),
+    "retries": ("serving_retries_total", "generator attempts beyond the first"),
+    "generator_failures": ("serving_generator_failures_total", "generator call-level faults"),
+    "rejected_generations": (
+        "serving_rejected_generations_total", "generations rejected by output validation"),
+    "breaker_refusals": (
+        "serving_batch_breaker_refusals_total", "batch runs refused by the breaker"),
+    "dead_lettered": ("serving_dead_lettered_total", "queries moved to the dead-letter queue"),
+    "redriven": ("serving_redriven_total", "dead-lettered queries recovered on redrive"),
+}
 
-@dataclass
+
 class ServingMetrics:
     """Latency, throughput and availability accounting for the service.
 
     Every request is counted exactly once as fresh, degraded, or a
     fallback, so ``served_fresh + degraded_serves + fallbacks ==
     requests`` always holds (the chaos property tests rely on it).
+
+    All counters are registry-backed (see :mod:`repro.obs.metrics`):
+    attribute reads and ``+=`` writes keep working, but the same values
+    are visible through the registry's exporters, and request latency is
+    a streaming fixed-bucket histogram — bounded memory no matter how
+    many requests the service absorbs.
     """
 
-    request_latencies_s: list[float] = field(default_factory=list)
-    batch_runs: int = 0
-    batch_queries_processed: int = 0
-    served_fresh: int = 0
-    degraded_serves: int = 0
-    fallbacks: int = 0
-    retries: int = 0
-    generator_failures: int = 0
-    rejected_generations: int = 0
-    breaker_refusals: int = 0
-    dead_lettered: int = 0
-    redriven: int = 0
-    backoff_wait_s: float = 0.0
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 service: str = "cosmo"):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.service = service
+        labels = {"service": service}
+        self._counters = {
+            attr: self.registry.counter(name, help, ("service",)).labels(**labels)
+            for attr, (name, help) in _COUNTER_SPECS.items()
+        }
+        self._counters["backoff_wait_s"] = self.registry.counter(
+            "serving_backoff_wait_seconds_total",
+            "simulated seconds spent in retry backoff", ("service",),
+        ).labels(**labels)
+        self.latency = self.registry.histogram(
+            "serving_request_latency_seconds",
+            "end-to-end simulated request latency", ("service",),
+        ).labels(**labels)
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency.observe(seconds)
 
     @property
     def requests(self) -> int:
@@ -88,9 +118,7 @@ class ServingMetrics:
         return self.fallbacks / self.requests
 
     def percentile(self, q: float) -> float:
-        if not self.request_latencies_s:
-            return 0.0
-        return float(np.percentile(self.request_latencies_s, q))
+        return self.latency.percentile(q)
 
     @property
     def p50(self) -> float:
@@ -99,6 +127,27 @@ class ServingMetrics:
     @property
     def p99(self) -> float:
         return self.percentile(99)
+
+
+def _counter_property(attr: str, as_int: bool) -> property:
+    """Expose a registry counter as a plain attribute supporting ``+=``."""
+
+    def fget(self: ServingMetrics):
+        value = self._counters[attr].value
+        return int(value) if as_int else value
+
+    def fset(self: ServingMetrics, value) -> None:
+        delta = value - self._counters[attr].value
+        if delta < 0:
+            raise ValueError(f"{attr} is a counter; it cannot decrease")
+        self._counters[attr].inc(delta)
+
+    return property(fget, fset)
+
+
+for _attr in _COUNTER_SPECS:
+    setattr(ServingMetrics, _attr, _counter_property(_attr, as_int=True))
+setattr(ServingMetrics, "backoff_wait_s", _counter_property("backoff_wait_s", as_int=False))
 
 
 @dataclass
@@ -123,6 +172,12 @@ class CosmoService:
     :class:`~repro.serving.resilience.ResilientGenerator` (``retry`` /
     ``breaker`` / ``response_validator`` configure it) and cache misses
     degrade gracefully instead of silently returning the fallback.
+
+    Observability: pass a shared ``registry`` to aggregate several
+    services into one metrics surface (children are labeled by ``name``,
+    so two services never collide), and/or a ``tracer`` to collect
+    batch/refresh spans; by default each service gets a private registry
+    and a tracer timed on its own :class:`SimClock`.
     """
 
     def __init__(
@@ -137,12 +192,21 @@ class CosmoService:
         breaker: CircuitBreaker | None = None,
         response_validator=None,
         seed: int = 0,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        name: str = "cosmo",
     ):
         self.generator = generator
         self.clock = clock or SimClock()
-        self.cache = AsyncCacheStore(self.clock, daily_capacity=daily_capacity)
-        self.features = FeatureStore(self.clock)
-        self.metrics = ServingMetrics()
+        self.name = name
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer or Tracer(clock=self.clock.now)
+        self.cache = AsyncCacheStore(
+            self.clock, daily_capacity=daily_capacity,
+            registry=self.registry, name=name,
+        )
+        self.features = FeatureStore(self.clock, registry=self.registry, name=name)
+        self.metrics = ServingMetrics(registry=self.registry, service=name)
         self.dead_letters: list[DeadLetter] = []
         self._prompt_builder = prompt_builder or (lambda query: query)
         self._fallback = fallback_response
@@ -157,6 +221,7 @@ class CosmoService:
                 validator=response_validator,
                 seed=seed,
             )
+            self._resilient.breaker.attach_registry(self.registry, name=name)
         else:
             self._resilient = None
 
@@ -171,7 +236,7 @@ class CosmoService:
 
     # ------------------------------------------------------------------
     def _charge_request(self, latency_s: float) -> None:
-        self.metrics.request_latencies_s.append(latency_s)
+        self.metrics.observe_latency(latency_s)
         self.clock.advance(latency_s)
 
     def handle_request(self, query: str) -> str:
@@ -216,10 +281,10 @@ class CosmoService:
             return self._degrade_direct(query, clock_before, latency_before)
         if self._resilient is not None:
             latency = self.clock.now() - clock_before
-            self.metrics.request_latencies_s.append(latency)
+            self.metrics.observe_latency(latency)
         else:
             latency = self.generator.latency.total_simulated_s - latency_before
-            self.metrics.request_latencies_s.append(latency)
+            self.metrics.observe_latency(latency)
             self.clock.advance(latency)
         self.metrics.served_fresh += 1
         self._last_good[query] = generation.text
@@ -238,11 +303,11 @@ class CosmoService:
         stale = record.knowledge_text if record is not None else self._last_good.get(query)
         if stale is not None and self._resilient is not None:
             self.clock.advance(_DEGRADED_LATENCY_S)
-            self.metrics.request_latencies_s.append(self.clock.now() - clock_before)
+            self.metrics.observe_latency(self.clock.now() - clock_before)
             self.metrics.degraded_serves += 1
             return stale
         self.clock.advance(_CACHE_LATENCY_S)
-        self.metrics.request_latencies_s.append(self.clock.now() - clock_before)
+        self.metrics.observe_latency(self.clock.now() - clock_before)
         self.metrics.fallbacks += 1
         return self._fallback
 
@@ -261,6 +326,13 @@ class CosmoService:
             pending = pending[:max_queries]
         if not pending:
             return 0
+        with self.tracer.span("serving.run_batch", service=self.name,
+                              pending=len(pending)) as span:
+            installed = self._run_batch(pending)
+            span.set_attribute("installed", installed)
+        return installed
+
+    def _run_batch(self, pending: list[str]) -> int:
         self.metrics.batch_runs += 1
         prompts = [self._prompt_builder(query) for query in pending]
         responses: dict[str, str] = {}
@@ -378,6 +450,14 @@ class CosmoService:
         """End-of-day maintenance: promote hot entries, re-drive the
         dead-letter queue, refresh stale features, advance the clock to
         the next day."""
+        with self.tracer.span("serving.daily_refresh", service=self.name,
+                              day=self.clock.day) as span:
+            report = self._daily_refresh(refresh_stale)
+            for key, value in report.items():
+                span.set_attribute(key, value)
+        return report
+
+    def _daily_refresh(self, refresh_stale: bool) -> dict[str, int]:
         promoted = self.cache.promote_frequent()
         self.apply_feedback()
         redriven = self._redrive_dead_letters()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.relations import RELATION_SPECS, Relation, parse_predicate
+from repro.obs.metrics import MetricsRegistry
 from repro.serving.clock import SimClock
 
 __all__ = ["FeatureRecord", "FeatureStore"]
@@ -33,11 +34,25 @@ class FeatureRecord:
 class FeatureStore:
     """Key → structured-feature mapping with refresh-day versioning."""
 
-    def __init__(self, clock: SimClock):
+    def __init__(self, clock: SimClock, registry: MetricsRegistry | None = None,
+                 name: str = "cosmo"):
         self._clock = clock
         self._records: dict[str, FeatureRecord] = {}
-        self.writes = 0
-        self.reads = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        ops = self.registry.counter(
+            "feature_store_ops_total", "feature store operations by kind",
+            ("store", "op"),
+        )
+        self._writes = ops.labels(store=name, op="write")
+        self._reads = ops.labels(store=name, op="read")
+        self._entries_gauge = self.registry.gauge(
+            "feature_store_entries", "live feature records", ("store",),
+        ).labels(store=name)
+        self._stale_gauge = self.registry.gauge(
+            "feature_store_stale_entries",
+            "records older than the staleness horizon at last check",
+            ("store",),
+        ).labels(store=name)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -75,22 +90,37 @@ class FeatureStore:
             extras=extras or {},
         )
 
+    @property
+    def writes(self) -> int:
+        return int(self._writes.value)
+
+    @property
+    def reads(self) -> int:
+        return int(self._reads.value)
+
     def put(self, key: str, knowledge_text: str, extras: dict[str, str] | None = None) -> FeatureRecord:
         """Structure and store one model response."""
         record = self.structure(key, knowledge_text, self._clock.day, extras)
         self._records[key] = record
-        self.writes += 1
+        self._writes.inc()
+        self._entries_gauge.set(len(self._records))
         return record
 
     def get(self, key: str) -> FeatureRecord | None:
-        self.reads += 1
+        self._reads.inc()
         return self._records.get(key)
 
     def stale_keys(self, max_age_days: int = 1) -> list[str]:
-        """Keys whose features are older than ``max_age_days``."""
+        """Keys whose features are older than ``max_age_days``.
+
+        Also publishes the count as the ``feature_store_stale_entries``
+        gauge, so staleness (§3.5.3) shows up in metrics snapshots.
+        """
         today = self._clock.day
-        return [
+        stale = [
             key
             for key, record in self._records.items()
             if today - record.refreshed_day > max_age_days
         ]
+        self._stale_gauge.set(len(stale))
+        return stale

@@ -129,8 +129,8 @@ def test_json_reporter_exact_payload(fixture_package):
             "line": 5,
             "col": 12,
             "message": (
-                "call to time.time reads the wall clock; serving and "
-                "benchmark code must go through SimClock"
+                "call to time.time reads the wall clock; time must come from "
+                "a simulated clock (only obs/timebase.py may read real time)"
             ),
         },
     ]

@@ -98,13 +98,29 @@ def test_wall_clock_flags_time_and_datetime_in_serving():
     assert [d.line for d in diags] == [4, 5, 6]
 
 
-def test_wall_clock_scoped_to_serving_and_benchmarks_only():
+def test_wall_clock_enforced_repo_wide():
     source = """
     import time
     t = time.time()
     """
-    assert run_rule(WallClockRule, source, path="src/repro/core/pipeline.py") == []
+    assert len(run_rule(WallClockRule, source, path="src/repro/core/pipeline.py")) == 1
     assert len(run_rule(WallClockRule, source, path="benchmarks/bench_x.py")) == 1
+
+
+def test_wall_clock_allowlists_only_the_obs_timebase():
+    source = """
+    import time
+
+    def wall_now():
+        return time.perf_counter()
+    """
+    # The sanctioned narrow waist is exempt...
+    assert run_rule(WallClockRule, source, path="src/repro/obs/timebase.py") == []
+    # ...but a second perf_counter call site anywhere else is flagged,
+    # even under a same-named file outside obs/.
+    flagged = run_rule(WallClockRule, source, path="src/repro/serving/timebase.py")
+    assert [d.rule for d in flagged] == ["wall-clock"]
+    assert "perf_counter" in flagged[0].message
 
 
 # -- mutable-default ----------------------------------------------------

@@ -1,0 +1,111 @@
+"""Exporters: JSON snapshot schema, text and Prometheus renderings."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA,
+    render_prometheus,
+    render_text,
+    snapshot,
+    validate_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter("requests_total", "requests", ("service",))
+    requests.labels(service="a").inc(3)
+    requests.labels(service="b").inc(1)
+    registry.gauge("queue_depth", "pending work").set(4)
+    latency = registry.histogram("latency_s", "latency", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.05, 2.0):
+        latency.observe(value)
+    return registry
+
+
+def test_snapshot_roundtrips_through_its_own_validator():
+    snap = snapshot(_populated_registry())
+    assert snap["schema"] == SNAPSHOT_SCHEMA
+    validate_snapshot(snap)
+    # ...and survives a JSON round trip (what the CI smoke step checks).
+    validate_snapshot(json.loads(json.dumps(snap)))
+
+
+def test_snapshot_histogram_sample_shape():
+    snap = snapshot(_populated_registry())
+    (latency,) = [m for m in snap["metrics"] if m["name"] == "latency_s"]
+    (sample,) = latency["samples"]
+    assert sample["count"] == 4
+    assert sample["min"] == 0.005 and sample["max"] == 2.0
+    assert sample["buckets"] == [
+        {"le": 0.01, "count": 1},
+        {"le": 0.1, "count": 3},
+        {"le": 1.0, "count": 3},
+        {"le": "+Inf", "count": 4},
+    ]
+
+
+def test_snapshot_is_deterministic_and_sorted():
+    first = json.dumps(snapshot(_populated_registry()), sort_keys=True)
+    second = json.dumps(snapshot(_populated_registry()), sort_keys=True)
+    assert first == second
+    names = [m["name"] for m in snapshot(_populated_registry())["metrics"]]
+    assert names == sorted(names)
+
+
+def test_render_text_one_line_per_sample():
+    text = render_text(_populated_registry())
+    assert 'requests_total{service="a"} 3' in text
+    assert "queue_depth 4" in text
+    assert "count=4" in text and "p99=" in text
+
+
+def test_render_prometheus_exposition_format():
+    text = render_prometheus(_populated_registry())
+    assert "# TYPE requests_total counter" in text
+    assert "# HELP queue_depth pending work" in text
+    assert 'requests_total{service="a"} 3' in text
+    assert 'latency_s_bucket{le="+Inf"} 4' in text
+    assert "latency_s_count 4" in text
+    assert text.endswith("\n")
+
+
+def test_render_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("c_total", "", ("k",)).labels(k='a"b\\c\nd').inc()
+    line = [l for l in render_prometheus(registry).splitlines() if l.startswith("c_total")][0]
+    assert '\\"' in line and "\\\\" in line and "\\n" in line
+
+
+def _valid_histogram_snapshot() -> dict:
+    registry = MetricsRegistry()
+    registry.histogram("h", buckets=(1.0,)).observe(0.5)
+    return snapshot(registry)
+
+
+@pytest.mark.parametrize("mutate, message", [
+    (lambda s: s.update(schema="other/v9"), "schema"),
+    (lambda s: s.update(metrics={}), "expected a list"),
+    (lambda s: s["metrics"][0].update(kind="summary"), "kind"),
+    (lambda s: s["metrics"][0]["samples"][0].update(count=-1), "count"),
+    (lambda s: s["metrics"][0]["samples"][0]["buckets"].pop(), r"\+Inf"),
+    (lambda s: s["metrics"][0]["samples"][0]["buckets"].insert(
+        0, {"le": 0.5, "count": 99}), "non-decreasing"),
+    (lambda s: s["metrics"][0]["samples"][0].update(count=7), "must equal"),
+])
+def test_validate_snapshot_rejects_malformed(mutate, message):
+    snap = _valid_histogram_snapshot()
+    mutate(snap)
+    with pytest.raises(ValueError, match=message):
+        validate_snapshot(snap)
+
+
+def test_validate_snapshot_rejects_label_key_mismatch():
+    snap = snapshot(_populated_registry())
+    (requests,) = [m for m in snap["metrics"] if m["name"] == "requests_total"]
+    requests["samples"][0]["labels"] = {"other": "a"}
+    with pytest.raises(ValueError, match="labelnames"):
+        validate_snapshot(snap)

@@ -1,0 +1,163 @@
+"""Metrics primitives: counters, gauges, streaming histograms, registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# -- counter / gauge ----------------------------------------------------
+
+
+def test_counter_increments_and_rejects_decrease():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(3)
+    assert gauge.value == 12.0
+
+
+# -- histogram ----------------------------------------------------------
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram(())
+    with pytest.raises(ValueError):
+        Histogram((1.0, 1.0, 2.0))
+    with pytest.raises(ValueError):
+        Histogram((2.0, 1.0))
+
+
+def test_histogram_exact_aggregates_without_sample_storage():
+    hist = Histogram((0.01, 0.1, 1.0))
+    for value in (0.002, 0.002, 0.05, 0.5, 3.0):
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(3.554)
+    assert hist.min == 0.002
+    assert hist.max == 3.0
+    assert hist.mean == pytest.approx(3.554 / 5)
+    # Cumulative le-buckets plus the +Inf overflow bucket.
+    assert hist.bucket_counts() == [
+        (0.01, 2), (0.1, 3), (1.0, 4), (float("inf"), 5),
+    ]
+
+
+def test_histogram_le_semantics_at_bucket_boundary():
+    hist = Histogram((1.0, 2.0))
+    hist.observe(1.0)  # le=1.0 bucket, not the (1, 2] one
+    assert hist.bucket_counts()[0] == (1.0, 1)
+
+
+def test_histogram_percentile_exact_for_repeated_value():
+    hist = Histogram(DEFAULT_LATENCY_BUCKETS_S)
+    for _ in range(500):
+        hist.observe(0.002)
+    for q in (0, 1, 50, 99, 100):
+        assert hist.percentile(q) == 0.002
+
+
+def test_histogram_percentile_monotone_and_clamped():
+    hist = Histogram(DEFAULT_LATENCY_BUCKETS_S)
+    for value in (0.001, 0.003, 0.02, 0.4, 7.0, 90.0, 300.0):
+        hist.observe(value)
+    previous = hist.percentile(0)
+    for q in range(0, 101, 5):
+        current = hist.percentile(q)
+        assert current >= previous
+        assert hist.min <= current <= hist.max
+        previous = current
+    assert hist.percentile(0) == hist.min
+    assert hist.percentile(100) == hist.max  # exact even above the last bound
+
+
+def test_histogram_percentile_edge_cases():
+    hist = Histogram((1.0,))
+    assert hist.percentile(50) == 0.0  # empty
+    hist.observe(0.5)
+    assert hist.percentile(50) == 0.5
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    with pytest.raises(ValueError):
+        hist.percentile(-1)
+
+
+# -- families and registry ----------------------------------------------
+
+
+def test_family_labels_validated_and_children_cached():
+    registry = MetricsRegistry()
+    family = registry.counter("requests_total", "requests", ("service",))
+    child = family.labels(service="a")
+    child.inc()
+    assert family.labels(service="a") is child
+    assert family.labels(service="b").value == 0
+    with pytest.raises(ValueError):
+        family.labels(wrong="a")
+    with pytest.raises(ValueError):
+        family.labels()
+
+
+def test_unlabeled_family_convenience_methods():
+    registry = MetricsRegistry()
+    registry.counter("jobs_total").inc(3)
+    registry.gauge("depth").set(7)
+    registry.histogram("latency_s", buckets=(1.0, 2.0)).observe(1.5)
+    assert registry.get("jobs_total").value == 3
+    assert registry.get("depth").value == 7
+    assert registry.get("latency_s").percentile(50) == 1.5
+
+
+def test_registry_get_or_create_and_schema_conflicts():
+    registry = MetricsRegistry()
+    first = registry.counter("hits_total", "h", ("store",))
+    assert registry.counter("hits_total", "h", ("store",)) is first
+    with pytest.raises(ValueError):
+        registry.gauge("hits_total", "h", ("store",))
+    with pytest.raises(ValueError):
+        registry.counter("hits_total", "h", ("other",))
+    registry.histogram("lat", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        registry.histogram("lat", buckets=(1.0, 3.0))
+
+
+def test_registry_rejects_invalid_names():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("1bad")
+    with pytest.raises(ValueError):
+        registry.counter("ok_name", labelnames=("bad-label",))
+
+
+def test_families_sorted_by_name():
+    registry = MetricsRegistry()
+    registry.counter("zeta_total")
+    registry.counter("alpha_total")
+    assert [f.name for f in registry.families()] == ["alpha_total", "zeta_total"]
+
+
+def test_empty_registry_is_still_a_valid_shared_registry():
+    """A freshly created registry is falsy under len(); components must
+    not silently replace it with a private one."""
+    from repro.core import CosmoPipeline, PipelineConfig
+
+    registry = MetricsRegistry()
+    assert len(registry) == 0 and not registry  # the trap
+    pipeline = CosmoPipeline(PipelineConfig(), registry=registry)
+    assert pipeline.registry is registry
+    assert "pipeline_stage_items_total" in registry

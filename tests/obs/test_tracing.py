@@ -1,0 +1,135 @@
+"""Span tracing: nesting, injectable clocks, Chrome trace export."""
+
+import pytest
+
+from repro.obs.tracing import Tracer, chrome_trace, validate_chrome_trace
+
+
+class FakeClock:
+    """Deterministic manual clock for span timing."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+def test_spans_nest_with_parent_ids_and_depth():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock.now)
+    with tracer.span("root", seed=7) as root:
+        clock.advance(1.0)
+        with tracer.span("child") as child:
+            clock.advance(0.5)
+        with tracer.span("sibling") as sibling:
+            clock.advance(0.25)
+    spans = tracer.spans()
+    assert [s.name for s in spans] == ["root", "child", "sibling"]
+    assert root.parent_id is None and root.depth == 0
+    assert child.parent_id == root.span_id and child.depth == 1
+    assert sibling.parent_id == root.span_id
+    assert root.duration_s == pytest.approx(1.75)
+    assert child.duration_s == pytest.approx(0.5)
+    assert root.attributes == {"seed": 7}
+
+
+def test_span_error_tagging_reraises():
+    tracer = Tracer()
+    with pytest.raises(KeyError):
+        with tracer.span("boom"):
+            raise KeyError("x")
+    (span,) = tracer.spans()
+    assert span.status == "error"
+    assert span.error_type == "KeyError"
+    assert span.end_s is not None
+
+
+def test_clocked_swaps_and_restores_the_clock():
+    clock = FakeClock()
+    tracer = Tracer()  # default zero clock
+    with tracer.clocked(clock.now):
+        clock.advance(2.0)
+        with tracer.span("inner"):
+            clock.advance(1.0)
+    with tracer.span("outer"):
+        pass
+    inner, outer = tracer.spans()
+    assert inner.start_s == 2.0 and inner.duration_s == 1.0
+    assert outer.start_s == 0.0  # zero clock restored
+
+
+def test_max_spans_bounds_memory():
+    tracer = Tracer(max_spans=2)
+    for index in range(5):
+        with tracer.span(f"s{index}"):
+            pass
+    assert len(tracer.spans()) == 2
+    assert tracer.dropped == 3
+    assert "3 span(s) dropped" in tracer.render_tree()
+
+
+def test_render_tree_shows_nesting_and_errors():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with pytest.raises(ValueError):
+            with tracer.span("inner", n=3):
+                raise ValueError("bad")
+    tree = tracer.render_tree()
+    lines = tree.splitlines()
+    assert lines[0].startswith("outer")
+    assert lines[1].startswith("  inner")
+    assert "n=3" in lines[1] and "!error:ValueError" in lines[1]
+
+
+def test_chrome_trace_structure_and_units():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock.now)
+    with tracer.span("work", items=4):
+        clock.advance(0.5)
+    payload = chrome_trace([("pipeline", tracer)])
+    validate_chrome_trace(payload)
+    meta, event = payload["traceEvents"]
+    assert meta == {"name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+                    "args": {"name": "pipeline"}}
+    assert event["ph"] == "X"
+    assert event["ts"] == 0.0
+    assert event["dur"] == pytest.approx(500_000.0)  # microseconds
+    assert event["args"]["parent_id"] == -1
+    assert event["args"]["items"] == 4
+
+
+def test_chrome_trace_gives_each_tracer_its_own_pid():
+    a, b = Tracer(), Tracer()
+    with a.span("x"):
+        pass
+    with b.span("y"):
+        pass
+    payload = chrome_trace([("one", a), ("two", b)])
+    pids = {e["pid"] for e in payload["traceEvents"]}
+    assert pids == {1, 2}
+
+
+def test_chrome_trace_skips_unfinished_spans():
+    tracer = Tracer()
+    generator = tracer.span("open-ended")
+    generator.__enter__()  # never exited
+    payload = chrome_trace([("p", tracer)])
+    assert [e["ph"] for e in payload["traceEvents"]] == ["M"]
+
+
+@pytest.mark.parametrize("payload", [
+    [],  # not an object
+    {},  # no traceEvents
+    {"traceEvents": [{"ph": "B", "pid": 1, "tid": 1, "name": "x"}]},  # bad phase
+    {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1, "name": "x",
+                      "ts": 0, "dur": -1}]},  # negative duration
+    {"traceEvents": [{"ph": "X", "pid": "1", "tid": 1, "name": "x",
+                      "ts": 0, "dur": 0}]},  # pid not an int
+])
+def test_validate_chrome_trace_rejects_malformed(payload):
+    with pytest.raises(ValueError):
+        validate_chrome_trace(payload)

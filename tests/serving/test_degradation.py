@@ -198,7 +198,7 @@ def test_availability_accounting_consistent_under_random_faults(ops, resilient, 
     # Every request is exactly one of fresh / degraded / fallback.
     assert metrics.served_fresh + metrics.degraded_serves + metrics.fallbacks \
         == requests == metrics.requests
-    assert len(metrics.request_latencies_s) == requests
+    assert metrics.latency.count == requests
     assert 0.0 <= metrics.availability <= 1.0
     assert 0.0 <= metrics.fallback_rate <= 1.0
     if not resilient:

@@ -1,0 +1,92 @@
+"""FeatureStore: structuring, versioning, and staleness observability."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serving.clock import SimClock
+from repro.serving.feature_store import FeatureStore
+
+
+def test_structure_parses_relation_tail_and_strong_intent():
+    record = FeatureStore.structure("tent", "it is used for camping.", refreshed_day=0)
+    assert record.relation == "USED_FOR_FUNC"
+    assert record.tail == "camping"
+    assert record.tail_type
+    assert record.strong_intent
+    assert record.refreshed_day == 0
+
+
+def test_structure_handles_unparseable_text():
+    record = FeatureStore.structure("x", "complete gibberish", refreshed_day=2)
+    assert record.relation is None and record.tail is None
+    assert not record.strong_intent
+    assert record.knowledge_text == "complete gibberish"
+
+
+def test_put_get_roundtrip_and_containment():
+    store = FeatureStore(SimClock())
+    record = store.put("tent", "it is used for camping.", extras={"src": "lm"})
+    assert store.get("tent") == record
+    assert "tent" in store and "other" not in store
+    assert len(store) == 1
+    assert record.extras == {"src": "lm"}
+    assert store.get("missing") is None
+
+
+def test_reads_and_writes_counted_through_the_registry():
+    registry = MetricsRegistry()
+    store = FeatureStore(SimClock(), registry=registry, name="svc")
+    store.put("a", "it is used for x.")
+    store.put("b", "it is used for y.")
+    store.get("a")
+    store.get("nope")
+    assert store.writes == 2
+    assert store.reads == 2
+    ops = registry.get("feature_store_ops_total")
+    assert ops.labels(store="svc", op="write").value == 2
+    assert ops.labels(store="svc", op="read").value == 2
+    assert registry.get("feature_store_entries").labels(store="svc").value == 2
+
+
+def test_records_version_by_refresh_day():
+    clock = SimClock()
+    store = FeatureStore(clock)
+    store.put("a", "it is used for x.")
+    clock.advance_days(3)
+    store.put("a", "it is used for z.")  # refresh overwrites the version
+    assert store.get("a").refreshed_day == 3
+
+
+def test_stale_keys_and_staleness_gauge():
+    clock = SimClock()
+    registry = MetricsRegistry()
+    store = FeatureStore(clock, registry=registry, name="svc")
+    store.put("old", "it is used for x.")
+    clock.advance_days(2)
+    store.put("fresh", "it is used for y.")
+
+    stale_gauge = registry.get("feature_store_stale_entries").labels(store="svc")
+    assert store.stale_keys(max_age_days=1) == ["old"]
+    assert stale_gauge.value == 1
+    # A refresh clears the staleness, and the gauge follows.
+    store.put("old", "it is used for x.")
+    assert store.stale_keys(max_age_days=1) == []
+    assert stale_gauge.value == 0
+
+
+def test_boundary_age_is_not_stale():
+    clock = SimClock()
+    store = FeatureStore(clock)
+    store.put("edge", "it is used for x.")
+    clock.advance_days(1)
+    assert store.stale_keys(max_age_days=1) == []  # age == max is still fresh
+    clock.advance_days(1)
+    assert store.stale_keys(max_age_days=1) == ["edge"]
+
+
+def test_two_stores_share_a_registry_without_colliding():
+    registry = MetricsRegistry()
+    clock = SimClock()
+    a = FeatureStore(clock, registry=registry, name="a")
+    b = FeatureStore(clock, registry=registry, name="b")
+    a.put("k", "it is used for x.")
+    assert a.writes == 1
+    assert b.writes == 0

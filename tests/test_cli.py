@@ -41,6 +41,45 @@ def test_generate_requires_arguments():
         build_parser().parse_args(["generate", "--query", "x"])  # missing required
 
 
+def test_obs_artifacts_valid_nested_and_deterministic(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace, validate_snapshot
+
+    def run(tag):
+        trace = tmp_path / f"trace-{tag}.json"
+        metrics = tmp_path / f"metrics-{tag}.json"
+        code = main([
+            "obs", "--seed", "3", "--scale", "0.12", "--lm-epochs", "1",
+            "--requests", "120", "--out-trace", str(trace),
+            "--out-metrics", str(metrics),
+        ])
+        assert code == 0
+        return trace.read_bytes(), metrics.read_bytes()
+
+    trace_a, metrics_a = run("a")
+    trace_b, metrics_b = run("b")
+    # Simulated-time artifacts replay byte-identically for a fixed seed.
+    assert trace_a == trace_b
+    assert metrics_a == metrics_b
+
+    trace = json.loads(trace_a)
+    validate_chrome_trace(trace)
+    events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    by_name = {e["name"]: e for e in events}
+    root = by_name["pipeline.run"]
+    assert root["args"]["parent_id"] == -1
+    # Stage spans nest under the pipeline root.
+    stage = by_name["pipeline.teacher_generation"]
+    assert stage["args"]["parent_id"] == root["args"]["span_id"]
+    assert "serving.run_batch" in by_name
+
+    validate_snapshot(json.loads(metrics_a))
+    out = capsys.readouterr().out
+    assert "request accounting" in out and "OK" in out
+    assert "wall-clock profile" in out
+
+
 def test_lint_subcommand_delegates_to_cosmolint(tmp_path, capsys):
     dirty = tmp_path / "mod.py"
     dirty.write_text("import numpy as np\nr = np.random.default_rng(1)\n")
