@@ -11,22 +11,9 @@ import numpy as np
 from conftest import publish
 
 from repro.llm import TeacherLLM
-from repro.llm.interface import Generation
 from repro.reporting import Table, format_percent
 from repro.serving import CosmoService
 from repro.utils.rng import spawn_rng
-
-
-class _TeacherAdapter:
-    """Serve the raw teacher per request (the infeasible baseline)."""
-
-    def __init__(self, teacher: TeacherLLM):
-        self._teacher = teacher
-        self.latency = teacher.latency
-        self.parameter_count = teacher.parameter_count
-
-    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
-        return [self._teacher.generate(prompt)[0] for prompt in prompts]
 
 
 def _traffic(world, n_requests: int, seed: int) -> list[str]:
@@ -66,7 +53,8 @@ def test_fig5_serving_deployment(bench_pipeline, benchmark, obs_registry):
     # Direct-teacher serving of a small slice of the same traffic, sharing
     # the registry: both arms land in one metrics surface, split by the
     # ``service`` label.
-    teacher_service = CosmoService(_TeacherAdapter(TeacherLLM(world, seed=7)),
+    # TeacherLLM implements KnowledgeGenerator directly — no adapter.
+    teacher_service = CosmoService(TeacherLLM(world, seed=7),
                                    registry=obs_registry, name="direct")
     for query in traffic[:25]:
         teacher_service.handle_request_direct(query)

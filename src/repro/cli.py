@@ -8,6 +8,7 @@ Usage::
         --product-type "camping tent" --domain "Sports & Outdoors"
     python -m repro.cli chaos --seed 7 --fault-rate 0.1
     python -m repro.cli obs --seed 7 --out-trace trace.json --out-metrics metrics.json
+    python -m repro.cli cluster --seed 7 --replicas 3 --requests 2000
 """
 
 from __future__ import annotations
@@ -150,7 +151,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
         validate_chrome_trace,
         validate_snapshot,
     )
-    from repro.serving import CosmoService
+    from repro.serving import CosmoService, ServeRequest
     from repro.utils.rng import spawn_rng
 
     registry = MetricsRegistry()
@@ -177,7 +178,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
     with profiler.section("serving.day"):
         for start in range(0, len(traffic), args.chunk):
             for query in traffic[start : start + args.chunk]:
-                service.handle_request(query)
+                service.serve(ServeRequest(query=query))
             service.run_batch()
         service.daily_refresh(refresh_stale=False)
 
@@ -209,6 +210,126 @@ def cmd_obs(args: argparse.Namespace) -> int:
           f"{accounted} == requests = {metrics.requests}: {'OK' if ok else 'VIOLATED'}")
     print()
     print(profiler.report())
+    return 0 if ok else 1
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Drive Zipf traffic through a sharded serving cluster; dump artifacts.
+
+    Runs entirely on simulated clocks with a scripted generator, so two
+    invocations with the same arguments produce byte-identical trace and
+    metrics files.  The exit code reflects the cluster-wide request
+    accounting invariant.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.obs import (
+        MetricsRegistry,
+        chrome_trace,
+        render_text,
+        snapshot,
+        validate_chrome_trace,
+        validate_snapshot,
+    )
+    from repro.serving import (
+        ClusterConfig,
+        CosmoCluster,
+        FaultInjector,
+        FaultPlan,
+        FlakyGenerator,
+    )
+    from repro.serving.chaos import ScriptedGenerator
+    from repro.utils.rng import spawn_rng
+
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print(f"error: --fault-rate must be in [0, 1], got {args.fault_rate}")
+        return 2
+
+    def scripted_ok(text: str) -> bool:
+        return bool(text.strip()) and text.rstrip().endswith(".")
+
+    def factory(index: int):
+        generator = ScriptedGenerator()
+        if args.fault_rate <= 0.0:
+            return generator
+        injector = FaultInjector(FaultPlan.mixed(args.fault_rate),
+                                 seed=args.seed + index)
+        return FlakyGenerator(generator, injector)
+
+    config = ClusterConfig(
+        n_replicas=args.replicas,
+        max_batch_size=args.max_batch_size,
+        max_batch_delay_s=args.max_batch_delay_s,
+        max_queue_depth=args.max_queue_depth,
+        seed=args.seed,
+    )
+    registry = MetricsRegistry()
+    cluster = CosmoCluster(factory, config=config, registry=registry,
+                           response_validator=scripted_ok)
+
+    rng = spawn_rng(args.seed, "cluster-traffic")
+    weights = 1.0 / np.arange(1, args.n_queries + 1) ** 1.3
+    weights /= weights.sum()
+    picks = rng.choice(args.n_queries, size=args.requests, p=weights)
+    traffic = [f"query {int(i):03d}" for i in picks]
+    gap_s = args.inter_arrival_ms / 1000.0
+
+    print(f"Cluster: {config.n_replicas} replica(s), {args.requests} requests, "
+          f"inter-arrival {args.inter_arrival_ms:.2f} ms, "
+          f"fault rate {args.fault_rate:.0%}...")
+    valid = 0
+    for query in traffic:
+        result = cluster.handle(query)
+        valid += result.text == ScriptedGenerator.knowledge_for(query)
+        cluster.clock.advance(gap_s)
+    cluster.flush()
+    # Horizon before the end-of-day refresh sleeps every clock to the
+    # next day boundary — throughput is requests over the drive itself.
+    horizon = cluster.busy_horizon_s
+    cluster.daily_refresh(refresh_stale=False)
+
+    trace = chrome_trace(
+        [("cluster", cluster.tracer)]
+        + [(replica_id, service.tracer)
+           for replica_id, service in cluster.services.items()]
+    )
+    validate_chrome_trace(trace)
+    snap = snapshot(registry)
+    validate_snapshot(snap)
+    if args.out_trace:
+        with open(args.out_trace, "w") as handle:
+            handle.write(json.dumps(trace, sort_keys=True, indent=2) + "\n")
+        print(f"Wrote Chrome trace to {args.out_trace}")
+    if args.out_metrics:
+        with open(args.out_metrics, "w") as handle:
+            handle.write(json.dumps(snap, sort_keys=True, indent=2) + "\n")
+        print(f"Wrote metrics snapshot to {args.out_metrics}")
+
+    totals = cluster.metrics_totals()
+    table = Table("Cluster serving — one simulated drive", ["Metric", "Value"])
+    table.add_row("Replicas", config.n_replicas)
+    table.add_row("Requests", totals["requests"])
+    table.add_row("Availability (served)", format_percent(cluster.availability))
+    table.add_row("Correct knowledge", format_percent(valid / max(totals["requests"], 1)))
+    table.add_row("Failovers", totals["failovers"])
+    table.add_row("Shed (admission control)", totals["shed"])
+    table.add_row("p50 / p99 latency",
+                  f"{cluster.percentile(50) * 1000:.2f} / "
+                  f"{cluster.percentile(99) * 1000:.2f} ms")
+    table.add_row("Busy horizon", f"{horizon:.2f} s")
+    table.add_row("Throughput", f"{totals['requests'] / horizon:,.0f} req/s"
+                  if horizon > 0 else "n/a")
+    print(table.render())
+    if args.verbose_metrics:
+        print(render_text(registry))
+
+    ok = (totals["served_fresh"] + totals["degraded_serves"] + totals["fallbacks"]
+          == totals["requests"] == totals["handled"])
+    print(f"request accounting: fresh + degraded + fallbacks = "
+          f"{totals['served_fresh'] + totals['degraded_serves'] + totals['fallbacks']} "
+          f"== requests = {totals['requests']}: {'OK' if ok else 'VIOLATED'}")
     return 0 if ok else 1
 
 
@@ -278,6 +399,31 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--out-metrics", type=str, default="",
                      help="write the metrics snapshot JSON here")
     obs.set_defaults(func=cmd_obs)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="drive a sharded multi-replica serving cluster; dump artifacts")
+    cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument("--replicas", type=int, default=3)
+    cluster.add_argument("--requests", type=int, default=2000)
+    cluster.add_argument("--n-queries", type=int, default=150,
+                         help="distinct queries in the Zipf traffic universe")
+    cluster.add_argument("--inter-arrival-ms", type=float, default=1.0,
+                         help="offered-load gap between request arrivals")
+    cluster.add_argument("--fault-rate", type=float, default=0.0,
+                         help="per-replica injected fault rate (FaultPlan.mixed)")
+    cluster.add_argument("--max-batch-size", type=int, default=16)
+    cluster.add_argument("--max-batch-delay-s", type=float, default=0.25,
+                         help="bound on oldest-pending staleness before a "
+                              "deadline flush (simulated seconds)")
+    cluster.add_argument("--max-queue-depth", type=int, default=500)
+    cluster.add_argument("--out-trace", type=str, default="",
+                         help="write Chrome trace-event JSON here")
+    cluster.add_argument("--out-metrics", type=str, default="",
+                         help="write the metrics snapshot JSON here")
+    cluster.add_argument("--verbose-metrics", action="store_true",
+                         help="also print the full text exposition")
+    cluster.set_defaults(func=cmd_cluster)
 
     lint = sub.add_parser(
         "lint", help="run cosmolint, the repo's static invariant checker")

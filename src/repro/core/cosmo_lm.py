@@ -222,7 +222,9 @@ class CosmoLM:
         )
 
     def generate_knowledge(self, prompts: list[str], max_new_tokens: int = 14) -> list[Generation]:
-        """Batched greedy knowledge generation."""
+        """Batched greedy knowledge generation — the
+        :class:`~repro.llm.interface.KnowledgeGenerator` entrypoint the
+        serving stack calls."""
         return self._require_model().generate_batch(prompts, max_new_tokens=max_new_tokens)
 
     def generate_reranked(

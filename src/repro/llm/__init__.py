@@ -1,6 +1,12 @@
 """Language-model substrate: teacher LLM, n-gram filter LM, student LM."""
 
-from repro.llm.interface import Generation, GenerationTruth, LanguageModel, LatencyModel
+from repro.llm.interface import (
+    Generation,
+    GenerationTruth,
+    KnowledgeGenerator,
+    LanguageModel,
+    LatencyModel,
+)
 from repro.llm.ngram import NGramLanguageModel
 from repro.llm.seq2seq import Seq2SeqLM
 from repro.llm.student import StudentLM
@@ -10,6 +16,7 @@ from repro.llm.tokenizer import Tokenizer
 __all__ = [
     "Generation",
     "GenerationTruth",
+    "KnowledgeGenerator",
     "LanguageModel",
     "LatencyModel",
     "NGramLanguageModel",

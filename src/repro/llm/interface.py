@@ -10,9 +10,15 @@ sleeping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Protocol, runtime_checkable
 
-__all__ = ["GenerationTruth", "Generation", "LanguageModel", "LatencyModel"]
+__all__ = [
+    "GenerationTruth",
+    "Generation",
+    "LanguageModel",
+    "KnowledgeGenerator",
+    "LatencyModel",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,25 @@ class LanguageModel(Protocol):
 
     def generate(self, prompt: str, num_candidates: int = 1) -> list[Generation]:
         """Produce ``num_candidates`` continuations of ``prompt``."""
+        ...  # pragma: no cover
+
+
+@runtime_checkable
+class KnowledgeGenerator(Protocol):
+    """The serving-facing generation surface.
+
+    ``generate_knowledge(prompts)`` is the *sole* entrypoint the serving
+    stack (``CosmoService``, ``ResilientGenerator``, ``FlakyGenerator``,
+    ``CosmoCluster``) calls; the per-model ``generate`` /
+    ``generate_batch`` methods are decoding internals and deprecated as
+    serving entrypoints.  Implementations must also expose a ``latency``
+    :class:`LatencyModel` (simulated-seconds accounting) — not part of
+    the runtime check because data members cannot be runtime-checked on
+    every supported Python version, but required by every caller.
+    """
+
+    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
+        """Answer a batch of prompts, one :class:`Generation` each."""
         ...  # pragma: no cover
 
 

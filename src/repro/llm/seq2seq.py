@@ -301,8 +301,16 @@ class Seq2SeqLM(Module):
             )
         return outputs
 
+    def generate_knowledge(self, prompts: list[str],
+                           max_new_tokens: int = 14) -> list[Generation]:
+        """:class:`~repro.llm.interface.KnowledgeGenerator` entrypoint."""
+        return self.generate_batch(prompts, max_new_tokens=max_new_tokens)
+
     def generate(self, prompt: str, num_candidates: int = 1) -> list[Generation]:
-        """Protocol-compatible single-prompt generation."""
+        """Protocol-compatible single-prompt generation.
+
+        Decoding internal; serving callers use :meth:`generate_knowledge`.
+        """
         return [self.generate_batch([prompt])[0] for _ in range(num_candidates)]
 
     # ------------------------------------------------------------------

@@ -83,6 +83,15 @@ class TeacherLLM:
             )
         return outputs
 
+    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
+        """:class:`~repro.llm.interface.KnowledgeGenerator` entrypoint.
+
+        Lets the serving bench mount the raw teacher behind
+        :class:`~repro.serving.deployment.CosmoService` without an
+        adapter — the expensive comparison arm of Figure 5.
+        """
+        return [self.generate(prompt)[0] for prompt in prompts]
+
     def generate(self, prompt: str, num_candidates: int = 1) -> list[Generation]:
         """Protocol-compatible raw continuation (demo / probing use)."""
         tail = GENERIC_TAILS[int(self._rng.integers(len(GENERIC_TAILS)))]

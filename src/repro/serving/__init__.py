@@ -1,7 +1,14 @@
 """Online deployment substrate (§3.5, Figure 5)."""
 
+from repro.serving.api import (
+    KnowledgeGenerator,
+    ServeOutcome,
+    ServeRequest,
+    ServeResult,
+)
 from repro.serving.cache import AsyncCacheStore, CacheStats
 from repro.serving.clock import SimClock
+from repro.serving.cluster import AdaptiveBatchScheduler, ClusterConfig, CosmoCluster
 from repro.serving.deployment import CosmoService, DeadLetter, ServingMetrics
 from repro.serving.faults import (
     FaultInjector,
@@ -12,6 +19,7 @@ from repro.serving.faults import (
     GeneratorTimeout,
 )
 from repro.serving.feature_store import FeatureRecord, FeatureStore
+from repro.serving.router import ConsistentHashRouter
 from repro.serving.resilience import (
     BatchOutcome,
     BreakerState,
@@ -24,6 +32,14 @@ from repro.serving.resilience import (
 
 __all__ = [
     "SimClock",
+    "KnowledgeGenerator",
+    "ServeOutcome",
+    "ServeRequest",
+    "ServeResult",
+    "ConsistentHashRouter",
+    "ClusterConfig",
+    "AdaptiveBatchScheduler",
+    "CosmoCluster",
     "AsyncCacheStore",
     "CacheStats",
     "FeatureStore",

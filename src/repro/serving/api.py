@@ -1,0 +1,103 @@
+"""Structured serving API: the request/response envelope.
+
+The serving stack's original entrypoint was a stringly-typed
+``handle_request(query) -> str``, which made it impossible for callers
+(and for the cluster router) to distinguish a fresh answer from a
+degraded one or a fallback without re-deriving the outcome from metric
+deltas.  This module is the typed replacement:
+
+* :class:`ServeRequest` — one query plus its serving mode (cached or
+  direct-to-model);
+* :class:`ServeOutcome` — the exhaustive request-accounting enum.  Every
+  request resolves to exactly one outcome, which is why
+  ``served_fresh + degraded_serves + fallbacks == requests`` holds;
+* :class:`ServeResult` — the answer text plus outcome, source (which
+  layer of the degradation chain produced the text), simulated latency,
+  and the id of the replica that served it.
+
+``CosmoService.serve`` is the structured entrypoint;
+``CosmoService.handle_request`` remains as a thin deprecated shim that
+returns ``serve(...).text``.  :class:`~repro.serving.cluster.CosmoCluster`
+consumes only the structured surface.
+
+The generation side of the contract is
+:class:`~repro.llm.interface.KnowledgeGenerator` (re-exported here):
+``generate_knowledge(prompts) -> [Generation]`` is the sole
+serving-facing generator entrypoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.llm.interface import KnowledgeGenerator
+
+__all__ = [
+    "KnowledgeGenerator",
+    "ServeOutcome",
+    "ServeRequest",
+    "ServeResult",
+    "SOURCE_CACHE_YEARLY",
+    "SOURCE_CACHE_DAILY",
+    "SOURCE_FEATURE_STORE",
+    "SOURCE_LAST_GOOD",
+    "SOURCE_DIRECT",
+    "SOURCE_FALLBACK",
+]
+
+#: ``ServeResult.source`` values, in degradation-chain order.
+SOURCE_CACHE_YEARLY = "cache:yearly"
+SOURCE_CACHE_DAILY = "cache:daily"
+SOURCE_FEATURE_STORE = "feature_store"
+SOURCE_LAST_GOOD = "last_good"
+SOURCE_DIRECT = "direct"
+SOURCE_FALLBACK = "fallback"
+
+
+class ServeOutcome(str, Enum):
+    """How a request was accounted.  Exactly one per request."""
+
+    FRESH = "fresh"          #: cache hit or successful direct generation
+    DEGRADED = "degraded"    #: stale knowledge (feature store / last good)
+    FALLBACK = "fallback"    #: no knowledge available; canned response
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One serving request.
+
+    ``direct=True`` bypasses the cache and calls the model synchronously
+    (the expensive comparison arm of the serving bench); the default
+    cached mode serves from the two-layer cache and enqueues misses for
+    batch processing.
+    """
+
+    query: str
+    direct: bool = False
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The structured answer to one :class:`ServeRequest`.
+
+    ``latency_s`` is the simulated end-to-end latency charged for the
+    request.  When a request flows through
+    :meth:`~repro.serving.cluster.CosmoCluster.handle`, shard queueing
+    delay is folded in, so the cluster-level number can exceed what the
+    replica itself charged.  ``replica`` is the serving replica's name
+    (a single :class:`~repro.serving.deployment.CosmoService` reports
+    its own ``name``).
+    """
+
+    query: str
+    text: str
+    outcome: ServeOutcome
+    source: str
+    latency_s: float
+    replica: str
+
+    @property
+    def served(self) -> bool:
+        """True when the request was answered with knowledge."""
+        return self.outcome is not ServeOutcome.FALLBACK

@@ -120,16 +120,28 @@ class AsyncCacheStore:
 
     def lookup(self, query: str) -> str | None:
         """Serve a request; a miss enqueues the query for the next batch."""
+        hit = self.fetch(query)
+        return hit[0] if hit is not None else None
+
+    def fetch(self, query: str, enqueue: bool = True) -> tuple[str, str] | None:
+        """Serve a request with layer attribution.
+
+        Returns ``(response, layer)`` where layer is ``"yearly"`` or
+        ``"daily"``, or None on a miss.  A miss enqueues the query for
+        the next batch unless ``enqueue`` is False (admission control
+        shedding load skips the queue so shed traffic cannot crowd out
+        admitted misses).
+        """
         self.request_log[query] += 1
         self._roll_daily_layer()
         if query in self._yearly:
             self.stats.layer1_hits += 1
-            return self._yearly[query]
+            return self._yearly[query], "yearly"
         if query in self._daily:
             self.stats.layer2_hits += 1
-            return self._daily[query]
+            return self._daily[query], "daily"
         self.stats.misses += 1
-        if query not in self._pending:
+        if enqueue and query not in self._pending:
             if len(self._pending) >= self._pending_capacity:
                 oldest = min(self._pending, key=self._pending.get)
                 del self._pending[oldest]

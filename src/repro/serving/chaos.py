@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.llm.interface import Generation, LatencyModel
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S, Histogram
+from repro.serving.api import ServeRequest
 from repro.serving.clock import SimClock
 from repro.serving.deployment import CosmoService
 from repro.serving.faults import FaultInjector, FaultPlan, FlakyGenerator
@@ -156,15 +157,12 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
             ] + traffic
         for start in range(0, len(traffic), config.chunk):
             for query in traffic[start : start + config.chunk]:
-                # handle_request advances the clock by exactly the charged
-                # request latency, so the clock delta is the latency.
-                before = clock.now()
-                response = service.handle_request(query)
+                result = service.serve(ServeRequest(query=query))
                 if measuring:
                     report.requests += 1
-                    if response == ScriptedGenerator.knowledge_for(query):
+                    if result.text == ScriptedGenerator.knowledge_for(query):
                         report.valid += 1
-                    report.latency.observe(clock.now() - before)
+                    report.latency.observe(result.latency_s)
             service.run_batch()
             clock.advance(config.chunk_gap_s)
         if day == config.warmup_days - 1:
@@ -225,7 +223,7 @@ def run_outage_demo(seed: int = 7, chunk: int = 120, chunk_gap_s: float = 300.0)
 
     # Warm the cache and feature store before measuring anything.
     for query in queries:
-        service.handle_request(query)
+        service.serve(ServeRequest(query=query))
     service.run_batch()
     clock.advance(chunk_gap_s)
 
@@ -242,9 +240,9 @@ def run_outage_demo(seed: int = 7, chunk: int = 120, chunk_gap_s: float = 300.0)
         for _ in range(chunks):
             for index in rng.integers(0, len(queries), size=chunk):
                 query = queries[int(index)]
-                response = service.handle_request(query)
+                result = service.serve(ServeRequest(query=query))
                 served += 1
-                valid += response == ScriptedGenerator.knowledge_for(query)
+                valid += result.text == ScriptedGenerator.knowledge_for(query)
             service.run_batch()
             clock.advance(chunk_gap_s)
         if name == "recovery":

@@ -1,0 +1,372 @@
+"""Sharded multi-replica serving cluster (the §3.5.2 deployment at scale).
+
+One :class:`~repro.serving.deployment.CosmoService` replica caps out at
+its own simulated service rate; production COSMO serves heavy traffic by
+sharding it.  :class:`CosmoCluster` composes the pieces this repo already
+has into that deployment:
+
+* **sharding** — a :class:`~repro.serving.router.ConsistentHashRouter`
+  gives every query a stable home replica (cache locality: a query's
+  cache entry and pending-queue slot live on one shard) with minimal
+  remapping when a replica is drained;
+* **failover** — each replica's circuit breaker is consulted *read-only*
+  (:attr:`~repro.serving.resilience.CircuitBreaker.cooling_down`); while
+  a breaker cools down, that replica's traffic walks to the next replica
+  on the ring instead of queueing behind a dead generator;
+* **adaptive batching** — :class:`AdaptiveBatchScheduler` flushes a
+  replica's pending-miss queue when it reaches ``max_batch_size`` *or*
+  when the oldest miss has waited ``max_batch_delay_s``, replacing the
+  fixed batch cadence a single service needs a driver loop for;
+* **admission control** — when cluster-wide pending depth exceeds
+  ``max_queue_depth``, new misses are served from the degraded path
+  without enqueueing (shed, not dropped: every request still gets an
+  answer and is counted exactly once, so the accounting invariant
+  ``served_fresh + degraded + fallbacks == requests`` holds cluster-wide).
+
+Time is modeled as a parallel discrete-event simulation: the cluster's
+own :class:`~repro.serving.clock.SimClock` is the *arrival* clock (the
+driver advances it between requests), while each replica runs on its own
+clock that tracks when that shard becomes free.  Dispatching a request
+synchronizes the replica clock forward to the arrival time (idle shard)
+or leaves it ahead (busy shard — the difference is queueing delay, folded
+into the returned :class:`~repro.serving.api.ServeResult.latency_s`).
+Everything is deterministic: same seed, same traffic, same bytes out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.serving.api import ServeRequest, ServeResult
+from repro.serving.clock import SimClock
+from repro.serving.deployment import CosmoService
+from repro.serving.router import ConsistentHashRouter
+
+__all__ = ["ClusterConfig", "AdaptiveBatchScheduler", "CosmoCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape and policies of one :class:`CosmoCluster`.
+
+    ``max_batch_delay_s`` bounds miss-to-batch staleness per replica;
+    ``max_queue_depth`` is the cluster-wide pending bound past which
+    admission control sheds misses to the degraded path; ``failover``
+    can be switched off to measure what breaker-blind routing costs.
+    """
+
+    n_replicas: int = 2
+    vnodes: int = 64
+    max_batch_size: int = 32
+    max_batch_delay_s: float = 30.0
+    max_queue_depth: int = 500
+    failover: bool = True
+    seed: int = 0
+    name: str = "cluster"
+
+    def __post_init__(self):
+        if self.n_replicas < 1:
+            raise ValueError("n_replicas must be at least 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.max_batch_delay_s <= 0:
+            raise ValueError("max_batch_delay_s must be positive")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+
+
+class AdaptiveBatchScheduler:
+    """Size-or-deadline flush triggers for per-replica miss queues.
+
+    A replica flushes when its pending queue reaches ``max_batch_size``
+    ("size" trigger — the batch is worth the generator call) or when its
+    *oldest* pending miss has waited ``max_batch_delay_s`` ("deadline"
+    trigger — bounded staleness even on a cold shard).  The scheduler
+    only tracks timestamps; the cluster owns the actual flush.
+    """
+
+    def __init__(self, max_batch_size: int = 32, max_batch_delay_s: float = 30.0):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_batch_delay_s <= 0:
+            raise ValueError("max_batch_delay_s must be positive")
+        self.max_batch_size = max_batch_size
+        self.max_batch_delay_s = max_batch_delay_s
+        self._first_pending: dict[str, float] = {}
+
+    def note_pending(self, replica: str, now: float) -> None:
+        """Record that ``replica`` has pending work as of ``now`` (the
+        timestamp only sticks for the window's *first* miss)."""
+        self._first_pending.setdefault(replica, now)
+
+    def should_flush(self, replica: str, pending: int, now: float) -> str | None:
+        """The trigger that fires for this queue state, if any."""
+        if pending <= 0:
+            self._first_pending.pop(replica, None)
+            return None
+        if pending >= self.max_batch_size:
+            return "size"
+        first = self._first_pending.get(replica)
+        if first is not None and now - first >= self.max_batch_delay_s:
+            return "deadline"
+        return None
+
+    def flushed(self, replica: str) -> None:
+        """Reset the deadline window after a flush."""
+        self._first_pending.pop(replica, None)
+
+
+class CosmoCluster:
+    """N service replicas behind a consistent-hash router.
+
+    ``generator_factory(replica_index)`` builds one generator per
+    replica — each shard owns its model instance, so per-replica fault
+    injection and breaker state stay independent.  Extra
+    ``service_kwargs`` pass through to every
+    :class:`~repro.serving.deployment.CosmoService` (retry policy,
+    fallback response, validators, ...).
+
+    All replicas share one :class:`~repro.obs.metrics.MetricsRegistry`:
+    per-replica serving metrics are distinguished by their ``service``
+    label (``<name>-r0``, ``<name>-r1``, ...), cluster-level metrics by
+    a ``cluster`` label.  Each replica traces on its own clock and the
+    cluster traces arrivals on the arrival clock; merge them with
+    :func:`~repro.obs.tracing.chrome_trace` for one timeline.
+
+    The cluster consumes only the structured serving API:
+    :meth:`handle` takes a :class:`~repro.serving.api.ServeRequest`
+    (or a bare query string for convenience) and returns the replica's
+    :class:`~repro.serving.api.ServeResult` with shard queueing delay
+    folded into ``latency_s``.
+    """
+
+    def __init__(
+        self,
+        generator_factory,
+        config: ClusterConfig | None = None,
+        clock: SimClock | None = None,
+        registry: MetricsRegistry | None = None,
+        **service_kwargs,
+    ):
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        self.clock = clock or SimClock()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock.now)
+        self._started_at = self.clock.now()
+        replica_ids = [f"{cfg.name}-r{i}" for i in range(cfg.n_replicas)]
+        self.router = ConsistentHashRouter(replica_ids, vnodes=cfg.vnodes,
+                                           seed=cfg.seed)
+        self.scheduler = AdaptiveBatchScheduler(
+            max_batch_size=cfg.max_batch_size,
+            max_batch_delay_s=cfg.max_batch_delay_s,
+        )
+        self.services: dict[str, CosmoService] = {}
+        for index, replica_id in enumerate(replica_ids):
+            replica_clock = SimClock(self.clock.now())
+            self.services[replica_id] = CosmoService(
+                generator_factory(index),
+                clock=replica_clock,
+                seed=cfg.seed + index,
+                registry=self.registry,
+                tracer=Tracer(clock=replica_clock.now),
+                name=replica_id,
+                **service_kwargs,
+            )
+        labels = {"cluster": cfg.name}
+        self._requests = self.registry.counter(
+            "cluster_requests_total", "requests handled by the cluster",
+            ("cluster",)).labels(**labels)
+        self._failovers = self.registry.counter(
+            "cluster_failovers_total",
+            "requests re-routed off their home replica (breaker cooling down)",
+            ("cluster",)).labels(**labels)
+        self._shed = self.registry.counter(
+            "cluster_shed_total",
+            "requests admission control served without enqueueing",
+            ("cluster",)).labels(**labels)
+        self._flushes = self.registry.counter(
+            "cluster_batch_flushes_total", "adaptive batch flushes by trigger",
+            ("cluster", "trigger"))
+        self._depth_gauge = self.registry.gauge(
+            "cluster_queue_depth", "cluster-wide pending-miss queue depth",
+            ("cluster",)).labels(**labels)
+        self._latency = self.registry.histogram(
+            "cluster_request_latency_seconds",
+            "end-to-end simulated latency including shard queueing delay",
+            ("cluster",)).labels(**labels)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _select(self, key: str) -> tuple[str, bool]:
+        """Pick the serving replica; True when it is a failover target.
+
+        Walks the key's ring preference order past replicas whose
+        breakers are cooling down.  If *every* active replica is cooling
+        down there is nowhere better to go — the home replica takes the
+        request and serves it from its degraded path.
+        """
+        order = self.router.preference(key)
+        if not self.config.failover:
+            return order[0], False
+        for replica_id in order:
+            breaker = self.services[replica_id].breaker
+            if breaker is not None and breaker.cooling_down:
+                continue
+            return replica_id, replica_id != order[0]
+        return order[0], False
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def handle(self, request: ServeRequest | str) -> ServeResult:
+        """Serve one request through the sharded deployment.
+
+        Arrival time is the cluster clock's ``now()`` — the driver
+        advances it between calls to model the offered load.  The
+        returned result is the replica's, with ``latency_s`` replaced by
+        the end-to-end figure (shard queueing delay + service latency).
+        """
+        if isinstance(request, str):
+            request = ServeRequest(query=request)
+        self._requests.inc()
+        shed = self.queue_depth >= self.config.max_queue_depth
+        if shed:
+            self._shed.inc()
+        replica_id, failed_over = self._select(request.query)
+        if failed_over:
+            self._failovers.inc()
+        service = self.services[replica_id]
+        arrival = self.clock.now()
+        start = max(arrival, service.clock.now())
+        service.clock.sleep_until(start)
+        result = service.serve(request, allow_enqueue=not shed)
+        end_to_end = (start - arrival) + result.latency_s
+        self._latency.observe(end_to_end)
+        self._maybe_flush(replica_id)
+        self._depth_gauge.set(self.queue_depth)
+        return replace(result, latency_s=end_to_end)
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def _maybe_flush(self, replica_id: str) -> None:
+        service = self.services[replica_id]
+        pending = service.cache.pending_size
+        now = service.clock.now()
+        if pending > 0:
+            self.scheduler.note_pending(replica_id, now)
+        trigger = self.scheduler.should_flush(replica_id, pending, now)
+        if trigger is not None:
+            self._flush_replica(replica_id, trigger)
+
+    def _flush_replica(self, replica_id: str, trigger: str) -> int:
+        service = self.services[replica_id]
+        with self.tracer.span("cluster.flush", replica=replica_id,
+                              trigger=trigger) as span:
+            installed = service.run_batch(max_queries=self.config.max_batch_size)
+            span.set_attribute("installed", installed)
+        self._flushes.labels(cluster=self.config.name, trigger=trigger).inc()
+        self.scheduler.flushed(replica_id)
+        return installed
+
+    def flush(self) -> int:
+        """Force-flush every replica's pending queue (end of drive)."""
+        installed = 0
+        for replica_id, service in self.services.items():
+            while service.cache.pending_size > 0:
+                batch_installed = self._flush_replica(replica_id, "forced")
+                installed += batch_installed
+                if batch_installed == 0:
+                    break  # breaker refused or all failed; don't spin
+        return installed
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def preload_yearly(self, entries: dict[str, str]) -> None:
+        """Load yearly cache entries onto each key's home replica."""
+        shards: dict[str, dict[str, str]] = {}
+        for query, response in entries.items():
+            shards.setdefault(self.router.route(query), {})[query] = response
+        for replica_id, shard in shards.items():
+            self.services[replica_id].cache.preload_yearly(shard)
+
+    def daily_refresh(self, refresh_stale: bool = True) -> dict[str, dict[str, int]]:
+        """Run every replica's daily refresh, then barrier all clocks.
+
+        Each replica sleeps to its own next day boundary inside
+        ``daily_refresh``; the barrier then advances every clock
+        (replicas *and* the arrival clock) to the cluster-wide maximum
+        so the next day starts synchronized.
+        """
+        reports: dict[str, dict[str, int]] = {}
+        with self.tracer.span("cluster.daily_refresh", day=self.clock.day):
+            for replica_id, service in self.services.items():
+                reports[replica_id] = service.daily_refresh(refresh_stale)
+            horizon = max(self.clock.now(),
+                          *(s.clock.now() for s in self.services.values()))
+            self.clock.sleep_until(horizon)
+            for service in self.services.values():
+                service.clock.sleep_until(horizon)
+        return reports
+
+    def drain(self, replica_id: str) -> None:
+        """Take a replica out of rotation (its keys move to ring neighbors)."""
+        self.router.drain(replica_id)
+
+    def restore(self, replica_id: str) -> None:
+        """Return a drained replica to rotation."""
+        self.router.restore(replica_id)
+
+    # ------------------------------------------------------------------
+    # Readouts
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Cluster-wide pending-miss count (the admission-control input)."""
+        return sum(s.cache.pending_size for s in self.services.values())
+
+    @property
+    def busy_horizon_s(self) -> float:
+        """Simulated seconds until the busiest replica goes idle — the
+        cluster's makespan, the denominator of its throughput."""
+        horizon = max(s.clock.now() for s in self.services.values())
+        return max(horizon, self.clock.now()) - self._started_at
+
+    @property
+    def requests(self) -> int:
+        return sum(s.metrics.requests for s in self.services.values())
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered with knowledge, cluster-wide."""
+        total = self.requests
+        if total == 0:
+            return 1.0
+        with_knowledge = sum(
+            s.metrics.served_fresh + s.metrics.degraded_serves
+            for s in self.services.values()
+        )
+        return with_knowledge / total
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile over end-to-end (queueing-inclusive) times."""
+        return self._latency.percentile(q)
+
+    def metrics_totals(self) -> dict[str, int]:
+        """Cluster-wide request accounting (sums over replicas)."""
+        totals = {"requests": 0, "served_fresh": 0, "degraded_serves": 0,
+                  "fallbacks": 0}
+        for service in self.services.values():
+            totals["requests"] += service.metrics.requests
+            totals["served_fresh"] += service.metrics.served_fresh
+            totals["degraded_serves"] += service.metrics.degraded_serves
+            totals["fallbacks"] += service.metrics.fallbacks
+        totals["handled"] = int(self._requests.value)
+        totals["failovers"] = int(self._failovers.value)
+        totals["shed"] = int(self._shed.value)
+        return totals

@@ -29,6 +29,17 @@ from dataclasses import dataclass
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
+from repro.serving.api import (
+    SOURCE_CACHE_DAILY,
+    SOURCE_CACHE_YEARLY,
+    SOURCE_DIRECT,
+    SOURCE_FALLBACK,
+    SOURCE_FEATURE_STORE,
+    SOURCE_LAST_GOOD,
+    ServeOutcome,
+    ServeRequest,
+    ServeResult,
+)
 from repro.serving.cache import AsyncCacheStore
 from repro.serving.clock import SimClock
 from repro.serving.faults import GeneratorFault
@@ -239,31 +250,66 @@ class CosmoService:
         self.metrics.observe_latency(latency_s)
         self.clock.advance(latency_s)
 
-    def handle_request(self, query: str) -> str:
-        """Serve one query from cache; misses degrade gracefully.
+    def serve(self, request: ServeRequest, allow_enqueue: bool = True) -> ServeResult:
+        """Serve one structured request; the canonical entrypoint.
 
-        Degradation chain: fresh cache entry → (possibly stale)
-        feature-store entry → last known good response → fallback.  The
-        miss is enqueued for batch processing in every case, so degraded
-        answers heal on the next batch cycle.
+        Cached mode walks the degradation chain: fresh cache entry →
+        (possibly stale) feature-store entry → last known good response
+        → fallback.  The miss is enqueued for batch processing (unless
+        ``allow_enqueue`` is False — cluster admission control shedding
+        load keeps the degraded answer but skips the queue), so degraded
+        answers heal on the next batch cycle.  Direct mode bypasses the
+        cache and calls the model synchronously.
         """
-        response = self.cache.lookup(query)
-        if response is not None:
+        if request.direct:
+            return self._serve_direct(request.query)
+        query = request.query
+        hit = self.cache.fetch(query, enqueue=allow_enqueue)
+        if hit is not None:
+            text, layer = hit
             self._charge_request(_CACHE_LATENCY_S)
             self.metrics.served_fresh += 1
-            return response
+            source = SOURCE_CACHE_YEARLY if layer == "yearly" else SOURCE_CACHE_DAILY
+            return ServeResult(query=query, text=text, outcome=ServeOutcome.FRESH,
+                               source=source, latency_s=_CACHE_LATENCY_S,
+                               replica=self.name)
         if self._resilient is not None:
-            record = self.features.get(query)
-            stale = record.knowledge_text if record is not None else self._last_good.get(query)
+            stale, source = self._stale_response(query)
             if stale is not None:
                 self._charge_request(_DEGRADED_LATENCY_S)
                 self.metrics.degraded_serves += 1
-                return stale
+                return ServeResult(query=query, text=stale,
+                                   outcome=ServeOutcome.DEGRADED, source=source,
+                                   latency_s=_DEGRADED_LATENCY_S, replica=self.name)
         self._charge_request(_CACHE_LATENCY_S)
         self.metrics.fallbacks += 1
-        return self._fallback
+        return ServeResult(query=query, text=self._fallback,
+                           outcome=ServeOutcome.FALLBACK, source=SOURCE_FALLBACK,
+                           latency_s=_CACHE_LATENCY_S, replica=self.name)
+
+    def _stale_response(self, query: str) -> tuple[str | None, str]:
+        """Best stale answer for ``query`` and the source that holds it."""
+        record = self.features.get(query)
+        if record is not None:
+            return record.knowledge_text, SOURCE_FEATURE_STORE
+        last = self._last_good.get(query)
+        if last is not None:
+            return last, SOURCE_LAST_GOOD
+        return None, SOURCE_FALLBACK
+
+    def handle_request(self, query: str) -> str:
+        """Deprecated string shim: ``serve(ServeRequest(query)).text``.
+
+        Kept so pre-structured-API callers keep working; new code should
+        call :meth:`serve` and read the :class:`ServeResult` envelope.
+        """
+        return self.serve(ServeRequest(query=query)).text
 
     def handle_request_direct(self, query: str) -> str:
+        """Deprecated string shim over ``serve`` in direct mode."""
+        return self.serve(ServeRequest(query=query, direct=True)).text
+
+    def _serve_direct(self, query: str) -> ServeResult:
         """Bypass the cache and call the model synchronously.
 
         The comparison point for the serving bench: this is what serving
@@ -291,25 +337,32 @@ class CosmoService:
         # Write through so later cached requests hit immediately.
         self.features.put(query, generation.text)
         self.cache.apply_batch({query: generation.text})
-        return generation.text
+        return ServeResult(query=query, text=generation.text,
+                           outcome=ServeOutcome.FRESH, source=SOURCE_DIRECT,
+                           latency_s=latency, replica=self.name)
 
     def _degrade_direct(self, query: str, clock_before: float,
-                        latency_before: float) -> str:
+                        latency_before: float) -> ServeResult:
         """Degradation chain for a failed direct call."""
         self.metrics.generator_failures += 1
         if self._resilient is None:
             self.clock.advance(self.generator.latency.total_simulated_s - latency_before)
-        record = self.features.get(query)
-        stale = record.knowledge_text if record is not None else self._last_good.get(query)
+        stale, source = self._stale_response(query)
         if stale is not None and self._resilient is not None:
             self.clock.advance(_DEGRADED_LATENCY_S)
-            self.metrics.observe_latency(self.clock.now() - clock_before)
+            latency = self.clock.now() - clock_before
+            self.metrics.observe_latency(latency)
             self.metrics.degraded_serves += 1
-            return stale
+            return ServeResult(query=query, text=stale,
+                               outcome=ServeOutcome.DEGRADED, source=source,
+                               latency_s=latency, replica=self.name)
         self.clock.advance(_CACHE_LATENCY_S)
-        self.metrics.observe_latency(self.clock.now() - clock_before)
+        latency = self.clock.now() - clock_before
+        self.metrics.observe_latency(latency)
         self.metrics.fallbacks += 1
-        return self._fallback
+        return ServeResult(query=query, text=self._fallback,
+                           outcome=ServeOutcome.FALLBACK, source=SOURCE_FALLBACK,
+                           latency_s=latency, replica=self.name)
 
     # ------------------------------------------------------------------
     def run_batch(self, max_queries: int | None = None) -> int:

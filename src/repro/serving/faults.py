@@ -133,8 +133,9 @@ class FaultInjector:
 class FlakyGenerator:
     """Wrap any batched generator with injected faults.
 
-    Exposes the same surface (``generate_knowledge``, ``latency``,
-    ``parameter_count``, attribute passthrough) so it drops into
+    Implements :class:`~repro.llm.interface.KnowledgeGenerator`
+    (``generate_knowledge``, ``latency``, ``parameter_count``, attribute
+    passthrough) so it drops into
     :class:`~repro.serving.deployment.CosmoService` or
     :class:`~repro.serving.resilience.ResilientGenerator` unchanged.
     """

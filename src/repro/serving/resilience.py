@@ -198,6 +198,23 @@ class CircuitBreaker:
         self._outcomes.clear()
         self._set_state(BreakerState.OPEN)
 
+    def force_open(self) -> None:
+        """Trip the breaker now (operator action / chaos injection)."""
+        self._trip()
+
+    @property
+    def cooling_down(self) -> bool:
+        """True while the breaker is OPEN and inside its cooldown.
+
+        Unlike :meth:`allow` this is a pure read: it neither counts a
+        refusal nor transitions to HALF_OPEN, so the cluster can consult
+        it when picking a failover replica without disturbing breaker
+        state.  Once the cooldown elapses this turns False, making the
+        replica routable again so the next real call can probe it.
+        """
+        return (self.state is BreakerState.OPEN
+                and self._clock.now() - self._opened_at < self.cooldown_s)
+
     # ------------------------------------------------------------------
     def allow(self) -> bool:
         """Whether a call may proceed right now."""
@@ -265,11 +282,12 @@ class ResilientGenerator:
     """Retry + circuit breaking + output validation around any batched
     generator.
 
-    Drop-in for the plain generator protocol: ``generate_knowledge``
-    raises on failure, while :meth:`generate_batch` returns a
-    :class:`BatchOutcome` with per-prompt results so callers (the batch
-    processor, the dead-letter redrive) can handle partial failure.
-    Unknown attributes pass through to the wrapped generator.
+    Drop-in for the :class:`~repro.llm.interface.KnowledgeGenerator`
+    protocol: ``generate_knowledge`` raises on failure, while
+    :meth:`generate_batch` returns a :class:`BatchOutcome` with
+    per-prompt results so callers (the batch processor, the dead-letter
+    redrive) can handle partial failure.  Unknown attributes pass through
+    to the wrapped generator.
     """
 
     def __init__(

@@ -1,0 +1,124 @@
+"""Deterministic consistent-hash routing for the serving cluster.
+
+Sharding traffic across replicas must satisfy three contracts the
+cluster (and its property tests) rely on:
+
+* **determinism** — the same ``(replica_ids, vnodes, seed)`` always
+  yields the same key→replica mapping.  Points come from BLAKE2b
+  digests, never from Python's salted ``hash()``;
+* **stability under drain** — removing one replica remaps only the keys
+  that replica owned; every other key keeps its assignment (the classic
+  consistent-hashing property, via virtual nodes on a shared ring);
+* **failover order** — :meth:`ConsistentHashRouter.preference` yields
+  the distinct replicas in ring order from the key's point, so "the
+  next replica on the ring" is a well-defined failover target when a
+  replica's circuit breaker is open.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from typing import Sequence
+
+__all__ = ["ConsistentHashRouter"]
+
+
+def _point(data: str) -> int:
+    """64-bit ring position for a string (stable across processes)."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRouter:
+    """Key → replica assignment on a virtual-node hash ring.
+
+    Each replica owns ``vnodes`` points on a 64-bit ring; a key routes
+    to the first active replica at or after its own point.  ``seed``
+    perturbs every point, so two routers with different seeds shard the
+    same keys differently (and two with the same seed identically).
+
+    Drained replicas stay on the ring but are skipped during lookup,
+    which is what makes draining minimally disruptive: only the drained
+    replica's keys move (each to the next replica on the ring), and
+    :meth:`restore` returns exactly those keys home.
+    """
+
+    def __init__(self, replica_ids: Sequence[str], vnodes: int = 64, seed: int = 0):
+        replicas = list(replica_ids)
+        if not replicas:
+            raise ValueError("router needs at least one replica")
+        if len(set(replicas)) != len(replicas):
+            raise ValueError(f"duplicate replica ids: {replicas}")
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._replicas = replicas
+        self._drained: set[str] = set()
+        ring: list[tuple[int, str]] = []
+        for replica in replicas:
+            for vnode in range(vnodes):
+                ring.append((_point(f"{seed}|node|{replica}|{vnode}"), replica))
+        ring.sort()
+        self._ring = ring
+        self._points = [point for point, _ in ring]
+
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> list[str]:
+        """All replicas, drained or not, in construction order."""
+        return list(self._replicas)
+
+    @property
+    def active(self) -> list[str]:
+        """Replicas currently eligible for routing."""
+        return [r for r in self._replicas if r not in self._drained]
+
+    def is_drained(self, replica: str) -> bool:
+        self._require(replica)
+        return replica in self._drained
+
+    def drain(self, replica: str) -> None:
+        """Take a replica out of rotation; its keys move to their next
+        ring neighbor, all other assignments are untouched."""
+        self._require(replica)
+        if replica in self._drained:
+            return
+        if len(self._drained) + 1 >= len(self._replicas):
+            raise ValueError("cannot drain the last active replica")
+        self._drained.add(replica)
+
+    def restore(self, replica: str) -> None:
+        """Return a drained replica to rotation (its old keys come back)."""
+        self._require(replica)
+        self._drained.discard(replica)
+
+    def _require(self, replica: str) -> None:
+        if replica not in self._replicas:
+            raise KeyError(f"unknown replica {replica!r}")
+
+    # ------------------------------------------------------------------
+    def preference(self, key: str, limit: int | None = None) -> list[str]:
+        """Distinct active replicas in ring order from ``key``'s point.
+
+        The first entry is the key's owner; later entries are the
+        failover order the cluster walks when breakers are open.
+        """
+        start = bisect_left(self._points, _point(f"{self.seed}|key|{key}"))
+        order: list[str] = []
+        seen: set[str] = set()
+        size = len(self._ring)
+        for step in range(size):
+            replica = self._ring[(start + step) % size][1]
+            if replica in seen or replica in self._drained:
+                continue
+            seen.add(replica)
+            order.append(replica)
+            if limit is not None and len(order) >= limit:
+                break
+        return order
+
+    def route(self, key: str) -> str:
+        """The active replica that owns ``key``."""
+        return self.preference(key, limit=1)[0]

@@ -1,0 +1,131 @@
+"""Structured serving API: envelope contents, shims, generator protocol."""
+
+from repro.llm import KnowledgeGenerator, StudentLM, Tokenizer
+from repro.serving import (
+    CosmoService,
+    FaultInjector,
+    FaultPlan,
+    FlakyGenerator,
+    ResilientGenerator,
+    ServeOutcome,
+    ServeRequest,
+    ServeResult,
+    SimClock,
+)
+from repro.serving.api import (
+    SOURCE_CACHE_DAILY,
+    SOURCE_CACHE_YEARLY,
+    SOURCE_DIRECT,
+    SOURCE_FALLBACK,
+    SOURCE_FEATURE_STORE,
+    SOURCE_LAST_GOOD,
+)
+from repro.serving.chaos import ScriptedGenerator
+
+
+def _service(**kwargs) -> CosmoService:
+    return CosmoService(ScriptedGenerator(), fallback_response="(down)",
+                        name="svc", **kwargs)
+
+
+# -- envelope per degradation stage ----------------------------------------
+def test_serve_reports_yearly_and_daily_cache_sources():
+    service = _service()
+    service.cache.preload_yearly({"hot": "hot answer."})
+    result = service.serve(ServeRequest(query="hot"))
+    assert result == ServeResult(query="hot", text="hot answer.",
+                                 outcome=ServeOutcome.FRESH,
+                                 source=SOURCE_CACHE_YEARLY,
+                                 latency_s=result.latency_s, replica="svc")
+    assert result.served
+
+    service.serve(ServeRequest(query="cold"))  # miss → pending
+    service.run_batch()
+    daily = service.serve(ServeRequest(query="cold"))
+    assert daily.outcome is ServeOutcome.FRESH
+    assert daily.source == SOURCE_CACHE_DAILY
+
+
+def test_serve_reports_degraded_sources_and_fallback():
+    service = _service()
+    first = service.serve(ServeRequest(query="q"))
+    assert first.outcome is ServeOutcome.FALLBACK
+    assert first.source == SOURCE_FALLBACK
+    assert first.text == "(down)"
+    assert not first.served
+
+    service.run_batch()
+    service.clock.advance_days(1)  # daily layer expires; features survive
+    stale = service.serve(ServeRequest(query="q"))
+    assert stale.outcome is ServeOutcome.DEGRADED
+    assert stale.source == SOURCE_FEATURE_STORE
+    assert stale.text == "it is used for q."
+
+    service.features._records.clear()
+    service.clock.advance_days(1)
+    last_good = service.serve(ServeRequest(query="q"))
+    assert last_good.outcome is ServeOutcome.DEGRADED
+    assert last_good.source == SOURCE_LAST_GOOD
+
+
+def test_serve_direct_reports_source_and_measured_latency():
+    service = _service()
+    result = service.serve(ServeRequest(query="q", direct=True))
+    assert result.outcome is ServeOutcome.FRESH
+    assert result.source == SOURCE_DIRECT
+    assert result.latency_s > 0.0
+    assert result.replica == "svc"
+
+
+def test_serve_without_enqueue_skips_the_pending_queue():
+    service = _service()
+    shed = service.serve(ServeRequest(query="q"), allow_enqueue=False)
+    assert shed.outcome is ServeOutcome.FALLBACK
+    assert service.cache.pending_size == 0  # not queued, still counted
+    assert service.metrics.requests == 1
+
+
+# -- deprecated shims ------------------------------------------------------
+def test_handle_request_shims_match_serve_text():
+    service = _service()
+    service.cache.preload_yearly({"hot": "hot answer."})
+    assert service.handle_request("hot") == "hot answer."
+    assert service.handle_request("cold") == "(down)"
+
+    shim = _service()
+    shim.cache.preload_yearly({"hot": "hot answer."})
+    direct = shim.handle_request_direct("q")
+    assert direct == "it is used for q."
+    assert shim.metrics.served_fresh == 1
+
+
+def test_shim_and_serve_account_identically():
+    via_shim = _service()
+    via_serve = _service()
+    for query in ["a", "b", "a"]:
+        via_shim.handle_request(query)
+        via_serve.serve(ServeRequest(query=query))
+    assert via_shim.metrics.requests == via_serve.metrics.requests
+    assert via_shim.metrics.fallbacks == via_serve.metrics.fallbacks
+    assert via_shim.clock.now() == via_serve.clock.now()
+
+
+# -- KnowledgeGenerator protocol -------------------------------------------
+def test_serving_generators_satisfy_knowledge_generator_protocol():
+    scripted = ScriptedGenerator()
+    flaky = FlakyGenerator(scripted, FaultInjector(FaultPlan(), seed=0))
+    resilient = ResilientGenerator(scripted, SimClock())
+    tokenizer = Tokenizer().fit(["winter tent camping gear"])
+    student = StudentLM(tokenizer, seed=0)
+    for generator in (scripted, flaky, resilient, student):
+        assert isinstance(generator, KnowledgeGenerator)
+        assert hasattr(generator, "latency")
+
+
+def test_student_generate_knowledge_matches_generate_batch():
+    tokenizer = Tokenizer().fit(["winter tent camping gear"])
+    student = StudentLM(tokenizer, seed=0)
+    prompts = ["winter tent"]
+    batch = student.generate_batch(prompts)
+    knowledge = student.generate_knowledge(prompts)
+    assert [g.text for g in knowledge] == [g.text for g in batch]

@@ -1,0 +1,278 @@
+"""Cluster serving: scheduler triggers, admission control, failover,
+and the cluster-wide accounting invariant under chaos."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import (
+    AdaptiveBatchScheduler,
+    ClusterConfig,
+    CosmoCluster,
+    FaultInjector,
+    FaultPlan,
+    FlakyGenerator,
+    ServeOutcome,
+    ServeRequest,
+)
+from repro.serving.chaos import ScriptedGenerator, _response_ok
+
+
+def _cluster(n_replicas=3, fault_rate=0.0, seed=3, **config_kwargs) -> CosmoCluster:
+    injectors = {}
+
+    def factory(index: int):
+        generator = ScriptedGenerator()
+        if fault_rate <= 0.0:
+            return generator
+        injector = FaultInjector(FaultPlan.mixed(fault_rate), seed=seed + index)
+        injectors[index] = injector
+        return FlakyGenerator(generator, injector)
+
+    options = {"max_batch_size": 8, "max_batch_delay_s": 0.5, **config_kwargs}
+    config = ClusterConfig(n_replicas=n_replicas, seed=seed, **options)
+    cluster = CosmoCluster(factory, config=config,
+                           response_validator=_response_ok)
+    cluster._test_injectors = injectors
+    return cluster
+
+
+# -- config validation ------------------------------------------------------
+def test_cluster_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_replicas=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(max_batch_size=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(max_batch_delay_s=0.0)
+    with pytest.raises(ValueError):
+        ClusterConfig(max_queue_depth=0)
+
+
+# -- adaptive batch scheduler ----------------------------------------------
+def test_scheduler_size_trigger():
+    scheduler = AdaptiveBatchScheduler(max_batch_size=4, max_batch_delay_s=10.0)
+    scheduler.note_pending("r0", now=0.0)
+    assert scheduler.should_flush("r0", pending=3, now=1.0) is None
+    assert scheduler.should_flush("r0", pending=4, now=1.0) == "size"
+
+
+def test_scheduler_deadline_trigger_uses_oldest_pending():
+    scheduler = AdaptiveBatchScheduler(max_batch_size=100, max_batch_delay_s=5.0)
+    scheduler.note_pending("r0", now=0.0)
+    scheduler.note_pending("r0", now=4.9)  # window keeps the FIRST timestamp
+    assert scheduler.should_flush("r0", pending=2, now=4.9) is None
+    assert scheduler.should_flush("r0", pending=2, now=5.0) == "deadline"
+
+
+def test_scheduler_flush_resets_the_deadline_window():
+    scheduler = AdaptiveBatchScheduler(max_batch_size=100, max_batch_delay_s=5.0)
+    scheduler.note_pending("r0", now=0.0)
+    scheduler.flushed("r0")
+    scheduler.note_pending("r0", now=7.0)
+    assert scheduler.should_flush("r0", pending=1, now=8.0) is None
+    assert scheduler.should_flush("r0", pending=1, now=12.0) == "deadline"
+
+
+def test_scheduler_empty_queue_clears_window():
+    scheduler = AdaptiveBatchScheduler(max_batch_size=4, max_batch_delay_s=5.0)
+    scheduler.note_pending("r0", now=0.0)
+    assert scheduler.should_flush("r0", pending=0, now=100.0) is None
+    scheduler.note_pending("r0", now=100.0)  # fresh window, not the old one
+    assert scheduler.should_flush("r0", pending=1, now=101.0) is None
+
+
+def test_cluster_flushes_on_size_trigger():
+    cluster = _cluster(n_replicas=1)
+    for i in range(8):  # max_batch_size distinct misses on one shard
+        cluster.handle(f"query {i}")
+    service = cluster.services["cluster-r0"]
+    assert service.metrics.batch_runs >= 1  # size trigger fired inline
+    assert cluster.handle("query 0").outcome is ServeOutcome.FRESH
+
+
+def test_cluster_flushes_on_deadline_trigger():
+    cluster = _cluster(n_replicas=1)
+    cluster.handle("lonely query")  # one pending miss, far below size
+    cluster.clock.advance(1.0)  # past max_batch_delay_s
+    cluster.handle("other query")  # next arrival evaluates the deadline
+    service = cluster.services["cluster-r0"]
+    assert service.metrics.batch_runs >= 1
+    assert cluster.handle("lonely query").outcome is ServeOutcome.FRESH
+
+
+# -- routing and locality ---------------------------------------------------
+def test_requests_for_a_key_stay_on_its_home_replica():
+    cluster = _cluster(n_replicas=3)
+    for _ in range(3):
+        homes = {q: cluster.handle(q).replica for q in (f"q{i}" for i in range(20))}
+        assert homes == {q: cluster.router.route(q) for q in homes}
+
+
+def test_preload_yearly_shards_entries_to_their_home_replica():
+    cluster = _cluster(n_replicas=3)
+    entries = {f"q{i}": f"answer {i}." for i in range(30)}
+    cluster.preload_yearly(entries)
+    for query, answer in entries.items():
+        result = cluster.handle(query)
+        assert result.text == answer
+        assert result.outcome is ServeOutcome.FRESH
+        assert result.replica == cluster.router.route(query)
+
+
+def test_drained_replica_receives_no_traffic():
+    cluster = _cluster(n_replicas=3)
+    cluster.drain("cluster-r1")
+    for i in range(30):
+        assert cluster.handle(f"q{i}").replica != "cluster-r1"
+    cluster.restore("cluster-r1")
+    assert any(cluster.handle(f"q{i}").replica == "cluster-r1"
+               for i in range(30))
+
+
+# -- admission control ------------------------------------------------------
+def test_admission_control_sheds_without_dropping():
+    cluster = _cluster(n_replicas=2, max_queue_depth=3, max_batch_size=1000,
+                       max_batch_delay_s=1e9)
+    for i in range(20):  # distinct misses; queue would grow to 20 unchecked
+        result = cluster.handle(f"query {i:02d}")
+        assert result.text is not None  # shed, never dropped
+    totals = cluster.metrics_totals()
+    assert totals["shed"] > 0
+    assert cluster.queue_depth <= cluster.config.max_queue_depth
+    assert (totals["served_fresh"] + totals["degraded_serves"]
+            + totals["fallbacks"] == totals["requests"] == 20)
+
+
+# -- failover ---------------------------------------------------------------
+def test_forced_open_breaker_reroutes_to_ring_neighbor():
+    cluster = _cluster(n_replicas=3)
+    victim = "cluster-r0"
+    victim_keys = [f"q{i}" for i in range(60)
+                   if cluster.router.route(f"q{i}") == victim]
+    assert victim_keys
+    cluster.services[victim].breaker.force_open()
+    for key in victim_keys:
+        result = cluster.handle(key)
+        assert result.replica != victim
+        assert result.replica == cluster.router.preference(key)[1]
+    assert cluster.metrics_totals()["failovers"] == len(victim_keys)
+
+
+def test_failover_availability_beats_single_replica_degraded_baseline():
+    """Acceptance: one breaker forced open through a cold sustained
+    outage.  The single-replica baseline is stuck degraded — its only
+    generator is fenced off, so nothing ever heals — while the cluster
+    fails the fenced replica's traffic over to healthy shards that keep
+    generating.  Served availability must come out at least as high, and
+    every request must be answered and accounted."""
+    queries = [f"q{i}" for i in range(40)]
+
+    def outage(cluster):
+        cluster.services[cluster.router.replicas[0]].breaker.force_open()
+        served = [cluster.handle(q) for _ in range(4) for q in queries]
+        return cluster, served
+
+    single, single_served = outage(_cluster(n_replicas=1))
+    sharded, sharded_served = outage(_cluster(n_replicas=3))
+
+    assert len(single_served) == len(sharded_served) == 160  # nothing dropped
+    assert sharded.availability >= single.availability
+    assert sharded.availability > 0.5  # healthy shards keep healing
+    for cluster in (single, sharded):
+        totals = cluster.metrics_totals()
+        assert (totals["served_fresh"] + totals["degraded_serves"]
+                + totals["fallbacks"] == totals["requests"] == totals["handled"])
+
+
+def test_all_breakers_open_falls_back_to_home_replica():
+    cluster = _cluster(n_replicas=2)
+    for service in cluster.services.values():
+        service.breaker.force_open()
+    result = cluster.handle("q")
+    assert result.replica == cluster.router.route("q")
+    assert cluster.metrics_totals()["failovers"] == 0
+
+
+def test_failover_disabled_keeps_home_routing():
+    cluster = _cluster(n_replicas=3, failover=False)
+    victim = "cluster-r0"
+    cluster.services[victim].breaker.force_open()
+    keys = [f"q{i}" for i in range(60)
+            if cluster.router.route(f"q{i}") == victim]
+    for key in keys:
+        assert cluster.handle(key).replica == victim
+
+
+# -- latency model ----------------------------------------------------------
+def test_queueing_delay_is_folded_into_cluster_latency():
+    cluster = _cluster(n_replicas=1)
+    cluster.preload_yearly({"q": "answer."})
+    first = cluster.handle(ServeRequest(query="q"))
+    # No arrival-clock advance: the second request arrives while the
+    # replica is still busy with the first, so it queues behind it.
+    second = cluster.handle(ServeRequest(query="q"))
+    assert second.latency_s == pytest.approx(first.latency_s * 2)
+
+
+def test_daily_refresh_barriers_all_clocks():
+    cluster = _cluster(n_replicas=3)
+    for i in range(10):
+        cluster.handle(f"q{i}")
+        cluster.clock.advance(0.01)
+    cluster.daily_refresh(refresh_stale=False)
+    horizons = {s.clock.now() for s in cluster.services.values()}
+    assert horizons == {cluster.clock.now()}
+    assert cluster.clock.day == 1
+
+
+# -- accounting invariant under chaos (property) ----------------------------
+@st.composite
+def cluster_schedules(draw):
+    ops = []
+    for _ in range(draw(st.integers(5, 40))):
+        kind = draw(st.sampled_from(["request", "request", "request", "gap",
+                                     "flush", "refresh", "plan", "trip"]))
+        if kind == "request":
+            ops.append((kind, draw(st.sampled_from([f"q{i}" for i in range(12)]))))
+        elif kind == "gap":
+            ops.append((kind, draw(st.floats(0.0, 2.0))))
+        elif kind == "plan":
+            ops.append((kind, draw(st.floats(0.0, 1.0))))
+        elif kind == "trip":
+            ops.append((kind, draw(st.integers(0, 5))))
+        else:
+            ops.append((kind, None))
+    return ops
+
+
+@given(cluster_schedules(), st.integers(1, 4), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_cluster_accounting_invariant_under_chaos(ops, n_replicas, seed):
+    cluster = _cluster(n_replicas=n_replicas, fault_rate=0.3, seed=seed)
+    requests = 0
+    for kind, arg in ops:
+        if kind == "request":
+            result = cluster.handle(arg)
+            assert result.outcome in ServeOutcome
+            requests += 1
+        elif kind == "gap":
+            cluster.clock.advance(arg)
+        elif kind == "flush":
+            cluster.flush()
+        elif kind == "refresh":
+            cluster.daily_refresh()
+        elif kind == "plan":
+            for injector in cluster._test_injectors.values():
+                injector.plan = FaultPlan.mixed(arg)
+        elif kind == "trip":
+            replica_id = cluster.router.replicas[arg % n_replicas]
+            cluster.services[replica_id].breaker.force_open()
+    totals = cluster.metrics_totals()
+    # Every request is exactly one of fresh / degraded / fallback, on
+    # exactly one replica, and none is dropped or double-counted.
+    assert (totals["served_fresh"] + totals["degraded_serves"]
+            + totals["fallbacks"] == totals["requests"]
+            == totals["handled"] == requests)
+    assert cluster._latency.count == requests
+    assert 0.0 <= cluster.availability <= 1.0

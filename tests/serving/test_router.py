@@ -1,0 +1,105 @@
+"""Consistent-hash router: determinism, drain stability, failover order."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import ConsistentHashRouter
+
+KEYS = [f"key {i:03d}" for i in range(200)]
+
+
+def _replica_ids(n: int) -> list[str]:
+    return [f"r{i}" for i in range(n)]
+
+
+# -- construction ----------------------------------------------------------
+def test_router_rejects_empty_and_duplicate_replicas():
+    with pytest.raises(ValueError):
+        ConsistentHashRouter([])
+    with pytest.raises(ValueError):
+        ConsistentHashRouter(["a", "a"])
+    with pytest.raises(ValueError):
+        ConsistentHashRouter(["a"], vnodes=0)
+
+
+def test_router_rejects_unknown_replica():
+    router = ConsistentHashRouter(_replica_ids(2))
+    with pytest.raises(KeyError):
+        router.drain("nope")
+    with pytest.raises(KeyError):
+        router.is_drained("nope")
+
+
+def test_cannot_drain_last_active_replica():
+    router = ConsistentHashRouter(_replica_ids(2))
+    router.drain("r0")
+    with pytest.raises(ValueError):
+        router.drain("r1")
+    router.drain("r0")  # already drained: a no-op, not an error
+
+
+# -- determinism (property) ------------------------------------------------
+@given(
+    st.integers(2, 6),
+    st.integers(1, 32),
+    st.integers(0, 10_000),
+    st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=30),
+)
+@settings(max_examples=50, deadline=None)
+def test_routing_deterministic_for_fixed_seed(n, vnodes, seed, keys):
+    a = ConsistentHashRouter(_replica_ids(n), vnodes=vnodes, seed=seed)
+    b = ConsistentHashRouter(_replica_ids(n), vnodes=vnodes, seed=seed)
+    for key in keys:
+        assert a.route(key) == b.route(key)
+        assert a.preference(key) == b.preference(key)
+
+
+def test_different_seeds_shard_differently():
+    a = ConsistentHashRouter(_replica_ids(4), seed=0)
+    b = ConsistentHashRouter(_replica_ids(4), seed=1)
+    assert any(a.route(k) != b.route(k) for k in KEYS)
+
+
+# -- drain stability (property) --------------------------------------------
+@given(st.integers(2, 6), st.integers(0, 5), st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_drain_remaps_only_the_drained_replicas_keys(n, victim_index, seed):
+    router = ConsistentHashRouter(_replica_ids(n), seed=seed)
+    victim = f"r{victim_index % n}"
+    before = {key: router.route(key) for key in KEYS}
+    router.drain(victim)
+    for key, owner in before.items():
+        if owner == victim:
+            assert router.route(key) != victim
+        else:
+            assert router.route(key) == owner  # untouched
+    router.restore(victim)
+    assert {key: router.route(key) for key in KEYS} == before
+
+
+def test_route_always_lands_on_an_active_replica():
+    router = ConsistentHashRouter(_replica_ids(4), seed=3)
+    router.drain("r1")
+    for key in KEYS:
+        assert router.route(key) in router.active
+        assert "r1" not in router.preference(key)
+
+
+# -- failover order --------------------------------------------------------
+def test_preference_lists_each_active_replica_once_in_stable_order():
+    router = ConsistentHashRouter(_replica_ids(4), seed=5)
+    for key in KEYS[:50]:
+        order = router.preference(key)
+        assert sorted(order) == sorted(router.active)
+        assert order[0] == router.route(key)
+        assert router.preference(key, limit=2) == order[:2]
+
+
+def test_preference_skips_drained_but_keeps_relative_order():
+    router = ConsistentHashRouter(_replica_ids(4), seed=5)
+    full = {key: router.preference(key) for key in KEYS[:50]}
+    router.drain("r2")
+    for key, order in full.items():
+        expected = [r for r in order if r != "r2"]
+        assert router.preference(key) == expected

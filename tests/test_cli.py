@@ -80,6 +80,50 @@ def test_obs_artifacts_valid_nested_and_deterministic(tmp_path, capsys):
     assert "wall-clock profile" in out
 
 
+def test_cluster_artifacts_valid_and_deterministic(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace, validate_snapshot
+
+    def run(tag):
+        trace = tmp_path / f"trace-{tag}.json"
+        metrics = tmp_path / f"metrics-{tag}.json"
+        code = main([
+            "cluster", "--seed", "3", "--replicas", "3", "--requests", "400",
+            "--n-queries", "60", "--fault-rate", "0.1",
+            "--out-trace", str(trace), "--out-metrics", str(metrics),
+        ])
+        assert code == 0
+        return trace.read_bytes(), metrics.read_bytes()
+
+    trace_a, metrics_a = run("a")
+    trace_b, metrics_b = run("b")
+    # Everything runs on simulated clocks, so artifacts are byte-stable.
+    assert trace_a == trace_b
+    assert metrics_a == metrics_b
+
+    trace = json.loads(trace_a)
+    validate_chrome_trace(trace)
+    # Cluster spans and every replica's serving spans share the merged
+    # timeline, split by process name.
+    processes = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M"}
+    assert {"cluster", "cluster-r0", "cluster-r1", "cluster-r2"} <= processes
+
+    snap = json.loads(metrics_a)
+    validate_snapshot(snap)
+    families = {metric["name"] for metric in snap["metrics"]}
+    assert "cluster_requests_total" in families
+    assert "cluster_batch_flushes_total" in families
+    out = capsys.readouterr().out
+    assert "request accounting" in out and "OK" in out
+
+
+def test_cluster_rejects_bad_fault_rate(capsys):
+    assert main(["cluster", "--fault-rate", "1.5", "--requests", "1"]) == 2
+    assert "--fault-rate" in capsys.readouterr().out
+
+
 def test_lint_subcommand_delegates_to_cosmolint(tmp_path, capsys):
     dirty = tmp_path / "mod.py"
     dirty.write_text("import numpy as np\nr = np.random.default_rng(1)\n")
