@@ -11,7 +11,7 @@ import pytest
 from conftest import publish
 
 from repro.reporting import Table, format_percent
-from repro.serving import CosmoService
+from repro.serving import CosmoService, ServeRequest
 from repro.utils.rng import spawn_rng
 
 
@@ -31,7 +31,7 @@ def _serve(lm, traffic, preload_yearly: bool, run_batches: bool, head: list[str]
         service.cache.preload_yearly(warm)
     for start in range(0, len(traffic), 500):
         for query in traffic[start : start + 500]:
-            service.handle_request(query)
+            service.serve(ServeRequest(query=query))
         if run_batches:
             service.run_batch()
     return service

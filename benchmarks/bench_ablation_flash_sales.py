@@ -14,7 +14,7 @@ from conftest import publish
 
 from repro.llm.interface import Generation, LatencyModel
 from repro.reporting import Table, format_percent
-from repro.serving import CosmoService
+from repro.serving import CosmoService, ServeRequest
 
 
 class SaleAwareGenerator:
@@ -43,7 +43,7 @@ def flash_sale_run():
 
     # Morning: cold traffic, batch fills the cache with pre-sale responses.
     for query in queries:
-        service.handle_request(query)
+        service.serve(ServeRequest(query=query))
     service.run_batch()
 
     # Midday: the flash sale starts — the *correct* response changes.
@@ -51,7 +51,7 @@ def flash_sale_run():
     stale = fresh = 0
     for _ in range(5):
         for query in queries:
-            response = service.handle_request(query)
+            response = service.serve(ServeRequest(query=query)).text
             if "regular price" in response:
                 stale += 1
             elif "flash sale" in response:
@@ -61,10 +61,11 @@ def flash_sale_run():
     # The daily refresh (next cycle) finally recomputes the features.
     service.clock.advance_days(1)
     for query in queries:
-        service.handle_request(query)  # daily layer cleared → misses
+        service.serve(ServeRequest(query=query))  # daily layer cleared → misses
     service.run_batch()
     post_refresh_stale = sum(
-        "regular price" in service.handle_request(query) for query in queries
+        "regular price" in service.serve(ServeRequest(query=query)).text
+        for query in queries
     )
     return stale, sale_window_requests, post_refresh_stale, len(queries), service
 
@@ -82,7 +83,7 @@ def test_flash_sale_staleness(flash_sale_run, benchmark):
                   format_percent(service.cache.stats.hit_rate))
     publish("ablation_flash_sales", table.render())
 
-    benchmark(service.handle_request, "deal query 0")
+    benchmark(lambda: service.serve(ServeRequest(query="deal query 0")))
 
     # The limitation is real: the entire sale window is served stale...
     assert staleness > 0.95

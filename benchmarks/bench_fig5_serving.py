@@ -12,7 +12,7 @@ from conftest import publish
 
 from repro.llm import TeacherLLM
 from repro.reporting import Table, format_percent
-from repro.serving import CosmoService
+from repro.serving import CosmoService, ServeRequest
 from repro.utils.rng import spawn_rng
 
 
@@ -44,7 +44,7 @@ def test_fig5_serving_deployment(bench_pipeline, benchmark, obs_registry):
     # A day of traffic with periodic batch processing.
     for start in range(0, len(traffic), 500):
         for query in traffic[start : start + 500]:
-            service.handle_request(query)
+            service.serve(ServeRequest(query=query))
         service.run_batch()
     service.daily_refresh(refresh_stale=False)
 
@@ -57,7 +57,7 @@ def test_fig5_serving_deployment(bench_pipeline, benchmark, obs_registry):
     teacher_service = CosmoService(TeacherLLM(world, seed=7),
                                    registry=obs_registry, name="direct")
     for query in traffic[:25]:
-        teacher_service.handle_request_direct(query)
+        teacher_service.serve(ServeRequest(query=query, direct=True))
 
     # Read the headline numbers back off the shared registry rather than
     # the service objects — what the snapshot artifact will contain.
@@ -85,7 +85,7 @@ def test_fig5_serving_deployment(bench_pipeline, benchmark, obs_registry):
     hit_rate = stats.hit_rate  # snapshot before the benchmark kernel runs
 
     # Benchmark kernel: steady-state request handling.
-    benchmark(lambda: [service.handle_request(q) for q in traffic[:200]])
+    benchmark(lambda: [service.serve(ServeRequest(query=q)) for q in traffic[:200]])
 
     # Shape: most traffic is served from cache at millisecond latency,
     # while direct large-model serving costs whole seconds per request.

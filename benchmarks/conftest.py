@@ -62,7 +62,8 @@ def obs_registry(request):
     validate_snapshot(snap)
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{request.node.name}.metrics.json"
-    path.write_text(json.dumps(snap, sort_keys=True, indent=2) + "\n")
+    path.write_text(json.dumps(snap, sort_keys=True,
+                               separators=(",", ":")) + "\n")
 
 
 def publish(name: str, text: str) -> None:

@@ -16,7 +16,7 @@ from repro.apps.navigation import (
 )
 from repro.behavior import WorldConfig
 from repro.core import CosmoLMConfig, CosmoPipeline, PipelineConfig
-from repro.serving import CosmoService
+from repro.serving import CosmoService, ServeRequest
 
 
 def main() -> None:
@@ -82,9 +82,9 @@ def main() -> None:
         fallback_response="(pending batch)",
     )
     print(f"\nServing {query.text!r}:")
-    print(f"  cold request -> {service.handle_request(query.text)!r}")
+    print(f"  cold request -> {service.serve(ServeRequest(query=query.text)).text!r}")
     service.run_batch()
-    print(f"  after batch  -> {service.handle_request(query.text)!r}")
+    print(f"  after batch  -> {service.serve(ServeRequest(query=query.text)).text!r}")
     print(f"  cache hit rate {service.cache.stats.hit_rate:.0%}, "
           f"feature store entries {len(service.features)}")
 

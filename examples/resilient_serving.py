@@ -16,7 +16,7 @@ numbers.
 Run:  python examples/resilient_serving.py
 """
 
-from repro.serving import CosmoService, SimClock
+from repro.serving import CosmoService, ServeRequest, SimClock
 from repro.serving.chaos import ScriptedGenerator, _response_ok
 from repro.serving.faults import FaultInjector, FaultPlan, FlakyGenerator
 from repro.serving.resilience import CircuitBreaker
@@ -26,7 +26,7 @@ QUERIES = [f"query {i:02d}" for i in range(12)]
 
 def serve_round(service: CosmoService, label: str) -> None:
     valid = sum(
-        service.handle_request(q) == ScriptedGenerator.knowledge_for(q)
+        service.serve(ServeRequest(query=q)).text == ScriptedGenerator.knowledge_for(q)
         for q in QUERIES
     )
     metrics = service.metrics

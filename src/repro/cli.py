@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli chaos --seed 7 --fault-rate 0.1
     python -m repro.cli obs --seed 7 --out-trace trace.json --out-metrics metrics.json
     python -m repro.cli cluster --seed 7 --replicas 3 --requests 2000
+    python -m repro.cli monitor --seed 0 --scenario chaos \
+        --out-timeline timeline.json --out-alerts alerts.json --out-events events.jsonl
 """
 
 from __future__ import annotations
@@ -333,6 +335,222 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Continuous-monitoring drive: time series, SLO alerts, event log.
+
+    Replays a deterministic three-phase workload (calm → storm →
+    recovery) through a sharded cluster while a
+    :class:`~repro.obs.timeseries.TimeSeriesCollector` scrapes the
+    shared registry on a fixed simulated-time grid and an
+    :class:`~repro.obs.slo.SloEvaluator` steps multi-window burn-rate
+    alerts after every scrape.  Serving components publish structured
+    events (breaker trips, drains, dead-letters, batch flushes) that
+    finished alerts cross-reference.
+
+    The ``chaos`` scenario scripts a full generator outage, a cold-query
+    flood and a replica drain for the storm phase — at least one SLO
+    alert is expected to walk pending → firing → resolved.  The
+    ``clean`` scenario keeps faults off and must finish with no alert
+    ever firing.  All three artifacts replay byte-identically for fixed
+    arguments, and the exit code is 1 when any alert fired, so CI can
+    assert each scenario's outcome.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.obs import (
+        BurnRateRule,
+        EventLog,
+        MetricsRegistry,
+        MetricSum,
+        SloEvaluator,
+        SloSpec,
+        TimeSeriesCollector,
+        alert_report,
+        render_events,
+        timeline,
+        validate_alert_report,
+        validate_events,
+        validate_timeline,
+    )
+    from repro.serving import (
+        ClusterConfig,
+        CosmoCluster,
+        FaultInjector,
+        FaultPlan,
+        FlakyGenerator,
+    )
+    from repro.serving.chaos import ScriptedGenerator
+    from repro.utils.rng import spawn_rng
+
+    def scripted_ok(text: str) -> bool:
+        return bool(text.strip()) and text.rstrip().endswith(".")
+
+    chaos = args.scenario == "chaos"
+    calm_plan = FaultPlan()
+    storm_plan = FaultPlan(error_rate=1.0) if chaos else calm_plan
+    injectors: list[FaultInjector] = []
+
+    def factory(index: int):
+        injector = FaultInjector(calm_plan, seed=args.seed + index)
+        injectors.append(injector)
+        return FlakyGenerator(ScriptedGenerator(), injector)
+
+    config = ClusterConfig(
+        n_replicas=args.replicas,
+        max_batch_size=args.max_batch_size,
+        max_batch_delay_s=args.max_batch_delay_s,
+        max_queue_depth=args.max_queue_depth,
+        seed=args.seed,
+    )
+    registry = MetricsRegistry()
+    event_log = EventLog(registry=registry)
+    cluster = CosmoCluster(factory, config=config, registry=registry,
+                           event_log=event_log, response_validator=scripted_ok)
+
+    warm = [f"query {i:03d}" for i in range(args.n_queries)]
+    cold = [f"storm query {i:03d}" for i in range(args.n_queries)]
+    cluster.preload_yearly({q: ScriptedGenerator.knowledge_for(q) for q in warm})
+
+    served = ("serving_served_fresh_total", "serving_degraded_serves_total")
+    windows = (BurnRateRule(long_s=4 * args.scrape_interval_s,
+                            short_s=args.scrape_interval_s,
+                            max_burn_rate=10.0),)
+    hold = args.scrape_interval_s
+    release = 2 * args.scrape_interval_s
+    lookback = 5 * args.scrape_interval_s
+    specs = [
+        SloSpec(
+            name="availability",
+            description="requests answered with knowledge (fresh or degraded)",
+            target=0.99,
+            good=MetricSum(served),
+            total=MetricSum(served + ("serving_fallbacks_total",)),
+            windows=windows,
+            for_s=hold, resolve_after_s=release, event_lookback_s=lookback,
+        ),
+        SloSpec(
+            name="latency-p99",
+            description=f"end-to-end latency under {args.latency_slo_s:g}s",
+            target=0.95,
+            good=MetricSum(("cluster_request_latency_seconds",),
+                           le=args.latency_slo_s),
+            total=MetricSum(("cluster_request_latency_seconds",)),
+            windows=windows,
+            for_s=hold, resolve_after_s=release, event_lookback_s=lookback,
+        ),
+        SloSpec(
+            name="cache-hit-rate",
+            description="lookups answered from a cache layer",
+            target=0.50,
+            good=MetricSum(("cache_requests_total",),
+                           where=(("outcome", ("layer1_hit", "layer2_hit")),)),
+            total=MetricSum(("cache_requests_total",)),
+            windows=(BurnRateRule(long_s=4 * args.scrape_interval_s,
+                                  short_s=args.scrape_interval_s,
+                                  max_burn_rate=1.6),),
+            for_s=hold, resolve_after_s=release, event_lookback_s=lookback,
+        ),
+    ]
+    evaluator = SloEvaluator(registry, specs, event_log=event_log)
+    collector = TimeSeriesCollector(registry, interval_s=args.scrape_interval_s)
+
+    rng = spawn_rng(args.seed, "monitor-traffic")
+    weights = 1.0 / np.arange(1, args.n_queries + 1) ** 1.3
+    weights /= weights.sum()
+
+    def draw(universe: list[str]) -> list[str]:
+        picks = rng.choice(args.n_queries, size=args.requests_per_phase, p=weights)
+        return [universe[int(i)] for i in picks]
+
+    # The storm phase floods the cluster with cold (never-cached) queries
+    # while every generator hard-fails and one replica is drained; calm
+    # and recovery replay warm traffic against healthy generators.
+    phases = [
+        ("calm", draw(warm), calm_plan, None),
+        ("storm", draw(cold if chaos else warm), storm_plan,
+         f"{config.name}-r1" if chaos and args.replicas > 1 else None),
+        ("recovery", draw(warm), calm_plan, None),
+    ]
+    gap_s = args.inter_arrival_ms / 1000.0
+
+    print(f"Monitor: scenario {args.scenario}, {config.n_replicas} replica(s), "
+          f"{args.requests_per_phase} requests x {len(phases)} phases, "
+          f"scrape every {args.scrape_interval_s:g}s...")
+    drained: str | None = None
+    phase_rows = []
+    previous_totals = cluster.metrics_totals()
+    for phase_name, traffic, plan, to_drain in phases:
+        for injector in injectors:
+            injector.plan = plan
+        if drained is not None:
+            cluster.restore(drained)
+            drained = None
+        if to_drain is not None:
+            cluster.drain(to_drain)
+            drained = to_drain
+        for query in traffic:
+            cluster.handle(query)
+            cluster.clock.advance(gap_s)
+            for ts in collector.maybe_scrape(cluster.clock.now()):
+                evaluator.evaluate(ts)
+        totals = cluster.metrics_totals()
+        good = (totals["served_fresh"] + totals["degraded_serves"]
+                - previous_totals["served_fresh"] - previous_totals["degraded_serves"])
+        requests = totals["requests"] - previous_totals["requests"]
+        phase_rows.append((phase_name, requests, good / max(requests, 1)))
+        previous_totals = totals
+    if drained is not None:
+        cluster.restore(drained)
+    cluster.flush()
+
+    timeline_payload = timeline(collector)
+    validate_timeline(timeline_payload)
+    report = alert_report(evaluator)
+    validate_alert_report(report)
+    events_text = render_events(event_log)
+    validate_events(events_text)
+    if args.out_timeline:
+        with open(args.out_timeline, "w") as handle:
+            handle.write(json.dumps(timeline_payload, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        print(f"Wrote time-series timeline to {args.out_timeline}")
+    if args.out_alerts:
+        with open(args.out_alerts, "w") as handle:
+            handle.write(json.dumps(report, sort_keys=True, indent=2) + "\n")
+        print(f"Wrote alert report to {args.out_alerts}")
+    if args.out_events:
+        with open(args.out_events, "w") as handle:
+            handle.write(events_text)
+        print(f"Wrote event log to {args.out_events}")
+
+    table = Table("Monitoring drive — phase availability", ["Phase", "Requests", "Served"])
+    for phase_name, requests, availability in phase_rows:
+        table.add_row(phase_name, requests, format_percent(availability))
+    print(table.render())
+    print(f"scrapes: {collector.scrapes}, series: {len(collector.series())}, "
+          f"events: {event_log.emitted} emitted / {event_log.dropped} dropped")
+    for alert in evaluator.alerts():
+        window = (f"pending {alert.pending_ts:g}s"
+                  + (f", firing {alert.firing_ts:g}s" if alert.firing_ts is not None else "")
+                  + (f", resolved {alert.resolved_ts:g}s"
+                     if alert.resolved_ts is not None and alert.state == "resolved" else ""))
+        print(f"alert {alert.alert_id}: {alert.state} ({window}; "
+              f"peak burn {alert.peak_burn_rate:.1f}x, "
+              f"{len(alert.event_ids)} correlated event(s))")
+
+    totals = cluster.metrics_totals()
+    accounted = (totals["served_fresh"] + totals["degraded_serves"]
+                 + totals["fallbacks"])
+    ok = accounted == totals["requests"] == totals["handled"]
+    print(f"request accounting: fresh + degraded + fallbacks = {accounted} "
+          f"== requests = {totals['requests']}: {'OK' if ok else 'VIOLATED'}")
+    fired = evaluator.any_fired
+    print(f"SLO verdict: {'ALERTS FIRED' if fired else 'no alerts fired'}")
+    return 1 if fired or not ok else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -424,6 +642,33 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--verbose-metrics", action="store_true",
                          help="also print the full text exposition")
     cluster.set_defaults(func=cmd_cluster)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="continuous-monitoring drive: time series, SLO alerts, event log")
+    monitor.add_argument("--seed", type=int, default=7)
+    monitor.add_argument("--scenario", choices=("clean", "chaos"), default="chaos",
+                         help="chaos scripts an outage + drain storm phase; "
+                              "clean keeps faults off")
+    monitor.add_argument("--replicas", type=int, default=3)
+    monitor.add_argument("--requests-per-phase", type=int, default=600)
+    monitor.add_argument("--n-queries", type=int, default=120,
+                         help="distinct queries per traffic universe")
+    monitor.add_argument("--inter-arrival-ms", type=float, default=5.0)
+    monitor.add_argument("--scrape-interval-s", type=float, default=0.5,
+                         help="time-series scrape grid (simulated seconds)")
+    monitor.add_argument("--latency-slo-s", type=float, default=0.25,
+                         help="latency objective threshold (p99-style bound)")
+    monitor.add_argument("--max-batch-size", type=int, default=16)
+    monitor.add_argument("--max-batch-delay-s", type=float, default=0.25)
+    monitor.add_argument("--max-queue-depth", type=int, default=300)
+    monitor.add_argument("--out-timeline", type=str, default="",
+                         help="write the repro.obs.timeseries/v1 JSON here")
+    monitor.add_argument("--out-alerts", type=str, default="",
+                         help="write the repro.obs.alerts/v1 JSON here")
+    monitor.add_argument("--out-events", type=str, default="",
+                         help="write the repro.obs.events/v1 JSONL here")
+    monitor.set_defaults(func=cmd_monitor)
 
     lint = sub.add_parser(
         "lint", help="run cosmolint, the repo's static invariant checker")

@@ -23,6 +23,7 @@ __all__ = [
     "OverbroadExceptRule",
     "FloatEqualityRule",
     "AllConsistencyRule",
+    "EventLogOnlyRule",
 ]
 
 
@@ -294,6 +295,66 @@ class FloatEqualityRule(LintRule):
                     "use math.isclose or an explicit tolerance",
                 )
                 break
+        self.generic_visit(node)
+
+
+@register
+class EventLogOnlyRule(LintRule):
+    """Serving/cluster modules must publish lifecycle state through the
+    structured event log, never ad-hoc stdout writes.
+
+    The monitoring pipeline (DESIGN.md §11) correlates alerts with
+    :class:`~repro.obs.events.EventLog` records; a ``print`` or
+    ``sys.stdout.write`` in the serving tree is operational information
+    that bypasses that contract (and pollutes byte-compared CLI output).
+    Emit an event — or, for genuinely human-only output, add the file to
+    ``allowlist`` the way ``wall-clock`` allowlists ``obs/timebase.py``.
+    """
+
+    id = "event-log-only"
+    summary = "serving modules publish lifecycle via EventLog, not prints"
+    invariant = "alerts can cross-reference every operational transition"
+
+    #: ``/``-separated path suffixes where direct stdout writes are
+    #: permitted (none today; CLI/reporting trees are out of scope).
+    allowlist: ClassVar[tuple[str, ...]] = ()
+
+    _STREAM_WRITES = {
+        "sys.stdout.write",
+        "sys.stderr.write",
+        "sys.stdout.writelines",
+        "sys.stderr.writelines",
+    }
+
+    @classmethod
+    def applies_to(cls, context: FileContext) -> bool:
+        if "serving" not in context.parts[:-1]:
+            return False
+        for entry in cls.allowlist:
+            suffix = tuple(entry.split("/"))
+            if context.parts[-len(suffix):] == suffix:
+                return False
+        return True
+
+    def check(self, tree: ast.Module) -> list[Diagnostic]:
+        self._imports = ImportMap(tree)
+        return super().check(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self.report(
+                node,
+                "print() in a serving module bypasses the structured event "
+                "log; emit via obs.events.EventLog so alerts can correlate it",
+            )
+        else:
+            name = self._imports.resolve(node.func)
+            if name in self._STREAM_WRITES:
+                self.report(
+                    node,
+                    f"{name} in a serving module bypasses the structured "
+                    "event log; emit via obs.events.EventLog instead",
+                )
         self.generic_visit(node)
 
 

@@ -10,16 +10,51 @@ Three dependency-free parts (DESIGN.md §9):
 * :mod:`repro.obs.timebase` — the sole sanctioned wall-clock call site,
   for real-time profiling only.
 
+Continuous monitoring (DESIGN.md §11) builds on those parts:
+
+* :mod:`repro.obs.timeseries` — a grid-aligned scrape loop turning the
+  registry into bounded ring-buffer series (counter rates, gauge points,
+  windowed histogram percentiles);
+* :mod:`repro.obs.events` — a bounded, byte-deterministic structured
+  event log for operational transitions (``repro.obs.events/v1``);
+* :mod:`repro.obs.slo` — declarative SLO objectives with multi-window
+  burn-rate rules and a pending→firing→resolved alert state machine
+  that cross-references event ids.
+
 Exporters live in :mod:`repro.obs.export` (text, JSON snapshot with a
 validating schema, Prometheus exposition format).
 """
 
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    Event,
+    EventLog,
+    render_events,
+    validate_events,
+)
 from repro.obs.export import (
     SNAPSHOT_SCHEMA,
     render_prometheus,
     render_text,
     snapshot,
     validate_snapshot,
+)
+from repro.obs.slo import (
+    ALERTS_SCHEMA,
+    Alert,
+    BurnRateRule,
+    MetricSum,
+    SloEvaluator,
+    SloSpec,
+    alert_report,
+    validate_alert_report,
+)
+from repro.obs.timeseries import (
+    TIMELINE_SCHEMA,
+    Series,
+    TimeSeriesCollector,
+    timeline,
+    validate_timeline,
 )
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
@@ -50,4 +85,22 @@ __all__ = [
     "validate_snapshot",
     "WallProfiler",
     "wall_now",
+    "EVENTS_SCHEMA",
+    "Event",
+    "EventLog",
+    "render_events",
+    "validate_events",
+    "TIMELINE_SCHEMA",
+    "Series",
+    "TimeSeriesCollector",
+    "timeline",
+    "validate_timeline",
+    "ALERTS_SCHEMA",
+    "Alert",
+    "BurnRateRule",
+    "MetricSum",
+    "SloSpec",
+    "SloEvaluator",
+    "alert_report",
+    "validate_alert_report",
 ]

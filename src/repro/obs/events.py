@@ -1,0 +1,211 @@
+"""Structured, byte-deterministic event log for operational transitions.
+
+Metrics answer "how much"; the event log answers "what happened, when".
+Serving components publish discrete lifecycle transitions — breaker
+state changes, router drain/restore, degradation entry/exit, dead-letter
+traffic, adaptive-batch flushes — as :class:`Event` records into one
+shared :class:`EventLog`, and the SLO evaluator cross-references the
+event ids active inside an alert's window so every alert carries its own
+causal context.
+
+Contracts:
+
+* **deterministic** — timestamps are simulated seconds from the
+  emitter's own clock and ids are assigned in emission order, so the
+  JSONL rendering (schema id ``repro.obs.events/v1``) is byte-identical
+  for a fixed seed;
+* **bounded** — the log is a ring buffer: beyond ``max_events`` the
+  oldest records fall off and ``dropped`` counts them (mirroring
+  :class:`~repro.obs.tracing.Tracer`), so an always-on service never
+  grows it without bound;
+* **ordered by id, not time** — replicas run on their own clocks, so
+  event timestamps are only monotone per component; ``event_id`` orders
+  global emission.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+__all__ = ["EVENTS_SCHEMA", "Event", "EventLog", "render_events", "validate_events"]
+
+EVENTS_SCHEMA = "repro.obs.events/v1"
+
+#: Event kinds are dotted lowercase identifiers: ``component.transition``.
+_KIND_RE = re.compile(r"^[a-z0-9_-]+(\.[a-z0-9_-]+)+$")
+
+AttrValue = Union[str, int, float, bool]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One discrete operational transition.
+
+    ``event_id`` is unique and ordered by emission; ``ts`` is simulated
+    seconds on the *emitting component's* clock; ``kind`` names the
+    transition (``breaker.open``, ``router.drain``, ...); ``attrs`` are
+    scalar details (replica ids, counts, triggers).
+    """
+
+    event_id: int
+    ts: float
+    kind: str
+    component: str
+    attrs: Mapping[str, AttrValue]
+
+    def as_dict(self) -> dict:
+        return {
+            "event_id": self.event_id,
+            "ts": self.ts,
+            "kind": self.kind,
+            "component": self.component,
+            "attrs": dict(self.attrs),
+        }
+
+
+class EventLog:
+    """Bounded, append-only sink for :class:`Event` records.
+
+    Pass a shared :class:`~repro.obs.metrics.MetricsRegistry` to also
+    count emissions as ``obs_events_total{kind}`` — which the time-series
+    scrape loop then turns into per-kind event rates for free.
+    """
+
+    def __init__(self, max_events: int = 10_000, registry=None,
+                 name: str = "events"):
+        if max_events < 1:
+            raise ValueError("max_events must be at least 1")
+        self.max_events = max_events
+        self.dropped = 0
+        self.emitted = 0
+        self._events: deque[Event] = deque(maxlen=max_events)
+        self._next_id = 1
+        self._counter_family = None
+        if registry is not None:
+            self._counter_family = registry.counter(
+                "obs_events_total", "structured events emitted by kind",
+                ("log", "kind"),
+            )
+        self._name = name
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def emit(self, kind: str, ts: float, component: str,
+             **attrs: AttrValue) -> Event:
+        """Append one event; returns the record (with its assigned id)."""
+        if not _KIND_RE.match(kind):
+            raise ValueError(
+                f"invalid event kind {kind!r}; expected dotted lowercase "
+                "like 'breaker.open'"
+            )
+        ts = float(ts)
+        if ts < 0.0:
+            raise ValueError(f"event timestamp must be non-negative, got {ts}")
+        event = Event(event_id=self._next_id, ts=ts, kind=kind,
+                      component=component, attrs=dict(attrs))
+        self._next_id += 1
+        self.emitted += 1
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+        self._events.append(event)
+        if self._counter_family is not None:
+            self._counter_family.labels(log=self._name, kind=kind).inc()
+        return event
+
+    def events(self) -> list[Event]:
+        """Retained events in emission order."""
+        return list(self._events)
+
+    def events_between(self, start_ts: float, end_ts: float) -> list[Event]:
+        """Retained events with ``start_ts <= ts <= end_ts`` (any clock).
+
+        The SLO evaluator uses this to attach the events active inside
+        an alert's window; because replica clocks can run ahead of the
+        arrival clock the filter is on the timestamp value, not on id
+        ranges.
+        """
+        return [e for e in self._events if start_ts <= e.ts <= end_ts]
+
+
+def render_events(log: EventLog) -> str:
+    """JSONL rendering: one header line, then one line per event.
+
+    Compact separators and sorted keys make the output byte-identical
+    for identical event streams.
+    """
+    header = {"schema": EVENTS_SCHEMA, "events": len(log),
+              "emitted": log.emitted, "dropped": log.dropped}
+    lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+    for event in log.events():
+        lines.append(json.dumps(event.as_dict(), sort_keys=True,
+                                separators=(",", ":")))
+    return "\n".join(lines) + "\n"
+
+
+def _fail(where: str, message: str) -> None:
+    raise ValueError(f"invalid event log at {where}: {message}")
+
+
+def validate_events(text: str) -> list[dict]:
+    """Validate a ``repro.obs.events/v1`` JSONL document.
+
+    Raises :class:`ValueError` on any structural violation; returns the
+    parsed event dicts so callers (the CI smoke job, tests) can assert
+    on content without re-parsing.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        _fail("header", "document is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise ValueError(f"invalid event log at header: {error}") from error
+    if not isinstance(header, dict) or header.get("schema") != EVENTS_SCHEMA:
+        _fail("header.schema",
+              f"expected {EVENTS_SCHEMA!r}, got {header.get('schema')!r}"
+              if isinstance(header, dict) else "header must be an object")
+    for key in ("events", "emitted", "dropped"):
+        value = header.get(key)
+        if not isinstance(value, int) or value < 0:
+            _fail(f"header.{key}", "expected a non-negative integer")
+    body = lines[1:]
+    if header["events"] != len(body):
+        _fail("header.events",
+              f"header says {header['events']} events, found {len(body)} lines")
+    if header["emitted"] != header["events"] + header["dropped"]:
+        _fail("header.emitted", "emitted must equal events + dropped")
+    events: list[dict] = []
+    previous_id = 0
+    for index, line in enumerate(body):
+        where = f"events[{index}]"
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"invalid event log at {where}: {error}") from error
+        if not isinstance(event, dict):
+            _fail(where, "expected an object")
+        event_id = event.get("event_id")
+        if not isinstance(event_id, int) or event_id <= previous_id:
+            _fail(f"{where}.event_id", "ids must be strictly increasing integers")
+        previous_id = event_id
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            _fail(f"{where}.ts", "expected a non-negative number")
+        kind = event.get("kind")
+        if not isinstance(kind, str) or not _KIND_RE.match(kind):
+            _fail(f"{where}.kind", f"expected a dotted lowercase kind, got {kind!r}")
+        if not isinstance(event.get("component"), str):
+            _fail(f"{where}.component", "expected a string")
+        attrs = event.get("attrs")
+        if not isinstance(attrs, dict):
+            _fail(f"{where}.attrs", "expected an object")
+        for key, value in attrs.items():
+            if not isinstance(value, (str, int, float, bool)):
+                _fail(f"{where}.attrs[{key!r}]", "attribute values must be scalars")
+        events.append(event)
+    return events

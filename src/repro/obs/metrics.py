@@ -128,6 +128,68 @@ class Histogram:
         self._min = value if self._min is None else min(self._min, value)
         self._max = value if self._max is None else max(self._max, value)
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's samples into this one, in place.
+
+        Both histograms must share identical bucket bounds; counts and
+        sums add exactly, min/max stay exact.  Returns ``self`` so a
+        fresh copy reads ``Histogram(h.bounds).merge(h)`` — the scrape
+        loop uses exactly that to remember the previous cumulative state.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{len(self.bounds)} vs {len(other.bounds)} buckets"
+            )
+        for index, bucket in enumerate(other._counts):
+            self._counts[index] += bucket
+        self.count += other.count
+        self.sum += other.sum
+        if other._min is not None:
+            self._min = other._min if self._min is None else min(self._min, other._min)
+        if other._max is not None:
+            self._max = other._max if self._max is None else max(self._max, other._max)
+        return self
+
+    def delta(self, earlier: "Histogram") -> "Histogram":
+        """The window of samples observed since ``earlier`` was captured.
+
+        ``earlier`` must be a previous state of this histogram (same
+        bounds, per-bucket counts no larger than the current ones);
+        counts and sum subtract exactly.  The window's min/max cannot be
+        recovered exactly from cumulative state, so they are estimated
+        at bucket resolution: min is the tightest known lower bound of
+        the lowest occupied bucket, max the tightest known upper bound
+        of the highest — :meth:`percentile` on the window stays monotone
+        and clamped to a range that contains every windowed sample.
+        """
+        if earlier.bounds != self.bounds:
+            raise ValueError(
+                f"cannot diff histograms with different bounds: "
+                f"{len(self.bounds)} vs {len(earlier.bounds)} buckets"
+            )
+        window = Histogram(self.bounds)
+        for index, bucket in enumerate(earlier._counts):
+            diff = self._counts[index] - bucket
+            if diff < 0:
+                raise ValueError(
+                    "delta() needs an earlier state of the same histogram; "
+                    f"bucket {index} shrank from {bucket} to {self._counts[index]}"
+                )
+            window._counts[index] = diff
+        window.count = self.count - earlier.count
+        window.sum = self.sum - earlier.sum
+        occupied = [i for i, c in enumerate(window._counts) if c > 0]
+        if occupied:
+            lo, hi = occupied[0], occupied[-1]
+            low_bound = self.min if lo == 0 else max(self.min, self.bounds[lo - 1])
+            high_bound = self.max if hi == len(self.bounds) else min(self.max, self.bounds[hi])
+            window._min = low_bound
+            window._max = max(high_bound, low_bound)
+        else:
+            window.sum = 0.0
+        return window
+
     def bucket_counts(self) -> list[tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs; the overflow bucket
         is reported with ``float('inf')`` as its bound."""

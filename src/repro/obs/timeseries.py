@@ -1,0 +1,261 @@
+"""Deterministic time-series telemetry scraped from a metrics registry.
+
+The metrics snapshot (:mod:`repro.obs.export`) is an end-of-run
+aggregate; continuous monitoring needs the *trajectory*.  A
+:class:`TimeSeriesCollector` samples a shared
+:class:`~repro.obs.metrics.MetricsRegistry` on a fixed simulated-time
+grid and keeps the result in bounded ring-buffer :class:`Series`:
+
+* **counters** become per-interval *rates* (``<key>:rate``, delta over
+  elapsed grid time);
+* **gauges** become point-in-time samples (``<key>``);
+* **histograms** become *windowed* percentiles and rates
+  (``<key>:p50``/``:p99``/``:rate``) — each scrape diffs the cumulative
+  histogram against the previous scrape's state via
+  :meth:`~repro.obs.metrics.Histogram.delta`, so the percentile reflects
+  only the samples of the last interval, which is what a burn-rate
+  latency SLO needs.
+
+The scrape loop is *pull-based and driven by the caller's clock*: the
+cluster driver calls :meth:`TimeSeriesCollector.maybe_scrape` with the
+current simulated time and the collector performs every grid-aligned
+scrape that has come due (timestamps ``k * interval_s``).  Nothing here
+reads the wall clock, so the exported timeline (schema id
+``repro.obs.timeseries/v1``) replays byte-identically for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Mapping
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "TIMELINE_SCHEMA",
+    "Series",
+    "TimeSeriesCollector",
+    "timeline",
+    "validate_timeline",
+]
+
+TIMELINE_SCHEMA = "repro.obs.timeseries/v1"
+
+_KINDS = ("rate", "gauge", "percentile")
+
+
+class Series:
+    """One bounded ring buffer of ``(ts, value)`` points."""
+
+    __slots__ = ("key", "kind", "capacity", "dropped", "_points")
+
+    def __init__(self, key: str, kind: str, capacity: int):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown series kind {kind!r}")
+        if capacity < 1:
+            raise ValueError("series capacity must be at least 1")
+        self.key = key
+        self.kind = kind
+        self.capacity = capacity
+        self.dropped = 0
+        self._points: deque[tuple[float, float]] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, ts: float, value: float) -> None:
+        if len(self._points) >= self.capacity:
+            self.dropped += 1
+        self._points.append((float(ts), float(value)))
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(self._points)
+
+    def latest(self) -> tuple[float, float] | None:
+        return self._points[-1] if self._points else None
+
+
+def _series_key(name: str, labels: Mapping[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return f"{name}{{{inner}}}"
+
+
+class TimeSeriesCollector:
+    """Grid-aligned scraper of one registry into bounded series.
+
+    ``interval_s`` sets the scrape grid (``k * interval_s`` timestamps);
+    ``capacity`` bounds every series' retained points; ``percentiles``
+    picks which windowed quantiles each histogram child yields.  Metric
+    children that appear mid-run simply start their series at the next
+    scrape; a counter's first rate point treats its pre-monitoring value
+    as having accrued over one interval.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval_s: float = 1.0,
+        capacity: int = 720,
+        percentiles: tuple[float, ...] = (50.0, 99.0),
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        for q in percentiles:
+            if not 0.0 <= q <= 100.0:
+                raise ValueError(f"percentile must be in [0, 100], got {q}")
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.capacity = capacity
+        self.percentiles = tuple(percentiles)
+        self.scrapes = 0
+        self.last_scrape_ts: float | None = None
+        self._series: dict[str, Series] = {}
+        self._prev_counters: dict[str, float] = {}
+        self._prev_histograms: dict[str, Histogram] = {}
+        self._grid_index = 0  # last performed scrape's grid multiple
+
+    # ------------------------------------------------------------------
+    def maybe_scrape(self, now: float) -> list[float]:
+        """Perform every grid scrape due at or before ``now``.
+
+        Returns the grid timestamps scraped (empty when none were due).
+        Driving this after every request keeps the grid exact no matter
+        how unevenly simulated time advances.
+        """
+        due = math.floor(now / self.interval_s + 1e-9)
+        performed: list[float] = []
+        while self._grid_index < due:
+            self._grid_index += 1
+            ts = self._grid_index * self.interval_s
+            self.scrape(ts)
+            performed.append(ts)
+        return performed
+
+    def scrape(self, ts: float) -> None:
+        """Sample every registered family at timestamp ``ts``."""
+        ts = float(ts)
+        elapsed = (self.interval_s if self.last_scrape_ts is None
+                   else ts - self.last_scrape_ts)
+        if elapsed <= 0:
+            raise ValueError(f"scrape timestamps must increase, got {ts}")
+        for family in self.registry.families():
+            for labels, child in family.samples():
+                key = _series_key(family.name, labels)
+                if family.kind == "counter":
+                    previous = self._prev_counters.get(key, 0.0)
+                    value = child.value
+                    self._record(f"{key}:rate", "rate", ts,
+                                 (value - previous) / elapsed)
+                    self._prev_counters[key] = value
+                elif family.kind == "gauge":
+                    self._record(key, "gauge", ts, child.value)
+                else:
+                    previous_h = self._prev_histograms.get(key)
+                    window = (child.delta(previous_h) if previous_h is not None
+                              else child)
+                    for q in self.percentiles:
+                        self._record(f"{key}:p{q:g}", "percentile", ts,
+                                     window.percentile(q))
+                    self._record(f"{key}:rate", "rate", ts,
+                                 window.count / elapsed)
+                    self._prev_histograms[key] = Histogram(child.bounds).merge(child)
+        self.scrapes += 1
+        self.last_scrape_ts = ts
+
+    def _record(self, key: str, kind: str, ts: float, value: float) -> None:
+        series = self._series.get(key)
+        if series is None:
+            series = Series(key, kind, self.capacity)
+            self._series[key] = series
+        series.append(ts, value)
+
+    # ------------------------------------------------------------------
+    def series(self) -> list[Series]:
+        """All series sorted by key (deterministic exports)."""
+        return [self._series[key] for key in sorted(self._series)]
+
+    def get(self, key: str) -> Series:
+        return self._series[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._series
+
+
+def timeline(collector: TimeSeriesCollector) -> dict:
+    """Deterministic JSON-able export of every series."""
+    return {
+        "schema": TIMELINE_SCHEMA,
+        "interval_s": collector.interval_s,
+        "scrapes": collector.scrapes,
+        "series": [
+            {
+                "key": series.key,
+                "kind": series.kind,
+                "dropped": series.dropped,
+                "points": [[ts, value] for ts, value in series.points()],
+            }
+            for series in collector.series()
+        ],
+    }
+
+
+def _fail(where: str, message: str) -> None:
+    raise ValueError(f"invalid timeline at {where}: {message}")
+
+
+def _check_number(where: str, value: object) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(where, f"expected a number, got {type(value).__name__}")
+
+
+def validate_timeline(payload: object) -> None:
+    """Raise :class:`ValueError` unless ``payload`` matches the
+    ``repro.obs.timeseries/v1`` schema produced by :func:`timeline`."""
+    if not isinstance(payload, Mapping):
+        raise ValueError("timeline must be a JSON object")
+    if payload.get("schema") != TIMELINE_SCHEMA:
+        _fail("schema", f"expected {TIMELINE_SCHEMA!r}, got {payload.get('schema')!r}")
+    interval = payload.get("interval_s")
+    _check_number("interval_s", interval)
+    if interval <= 0:
+        _fail("interval_s", "must be positive")
+    scrapes = payload.get("scrapes")
+    if not isinstance(scrapes, int) or scrapes < 0:
+        _fail("scrapes", "expected a non-negative integer")
+    series = payload.get("series")
+    if not isinstance(series, list):
+        _fail("series", "expected a list")
+    previous_key = ""
+    for index, entry in enumerate(series):
+        where = f"series[{index}]"
+        if not isinstance(entry, Mapping):
+            _fail(where, "expected an object")
+        key = entry.get("key")
+        if not isinstance(key, str) or not key:
+            _fail(f"{where}.key", "expected a non-empty string")
+        if key <= previous_key:
+            _fail(f"{where}.key", "series must be sorted by key, without duplicates")
+        previous_key = key
+        if entry.get("kind") not in _KINDS:
+            _fail(f"{where}.kind", f"expected one of {_KINDS}, got {entry.get('kind')!r}")
+        dropped = entry.get("dropped")
+        if not isinstance(dropped, int) or dropped < 0:
+            _fail(f"{where}.dropped", "expected a non-negative integer")
+        points = entry.get("points")
+        if not isinstance(points, list):
+            _fail(f"{where}.points", "expected a list")
+        previous_ts = float("-inf")
+        for p_index, point in enumerate(points):
+            p_where = f"{where}.points[{p_index}]"
+            if not isinstance(point, list) or len(point) != 2:
+                _fail(p_where, "expected a [ts, value] pair")
+            _check_number(f"{p_where}[0]", point[0])
+            _check_number(f"{p_where}[1]", point[1])
+            if point[0] <= previous_ts:
+                _fail(f"{p_where}[0]", "timestamps must be strictly increasing")
+            previous_ts = point[0]

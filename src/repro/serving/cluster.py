@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.serving.api import ServeRequest, ServeResult
@@ -148,6 +149,7 @@ class CosmoCluster:
         config: ClusterConfig | None = None,
         clock: SimClock | None = None,
         registry: MetricsRegistry | None = None,
+        event_log: EventLog | None = None,
         **service_kwargs,
     ):
         self.config = config or ClusterConfig()
@@ -155,10 +157,16 @@ class CosmoCluster:
         self.clock = clock or SimClock()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = Tracer(clock=self.clock.now)
+        self.event_log = event_log
         self._started_at = self.clock.now()
         replica_ids = [f"{cfg.name}-r{i}" for i in range(cfg.n_replicas)]
         self.router = ConsistentHashRouter(replica_ids, vnodes=cfg.vnodes,
                                            seed=cfg.seed)
+        if event_log is not None:
+            # Drain/restore events are timed on the arrival clock — the
+            # operator acts at cluster time, not on any one replica's.
+            self.router.attach_event_log(event_log, clock=self.clock.now,
+                                         component=cfg.name)
         self.scheduler = AdaptiveBatchScheduler(
             max_batch_size=cfg.max_batch_size,
             max_batch_delay_s=cfg.max_batch_delay_s,
@@ -172,6 +180,7 @@ class CosmoCluster:
                 seed=cfg.seed + index,
                 registry=self.registry,
                 tracer=Tracer(clock=replica_clock.now),
+                event_log=event_log,
                 name=replica_id,
                 **service_kwargs,
             )
@@ -271,6 +280,12 @@ class CosmoCluster:
             span.set_attribute("installed", installed)
         self._flushes.labels(cluster=self.config.name, trigger=trigger).inc()
         self.scheduler.flushed(replica_id)
+        if self.event_log is not None:
+            self.event_log.emit(
+                "cluster.flush", ts=service.clock.now(),
+                component=self.config.name, replica=replica_id,
+                trigger=trigger, installed=installed,
+            )
         return installed
 
     def flush(self) -> int:

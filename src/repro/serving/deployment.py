@@ -25,8 +25,10 @@ the baseline arm of ``benchmarks/bench_ablation_resilience.py``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.serving.api import (
@@ -205,6 +207,7 @@ class CosmoService:
         seed: int = 0,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        event_log: EventLog | None = None,
         name: str = "cosmo",
     ):
         self.generator = generator
@@ -212,6 +215,8 @@ class CosmoService:
         self.name = name
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer or Tracer(clock=self.clock.now)
+        self.event_log = event_log
+        self._in_degraded_mode = False
         self.cache = AsyncCacheStore(
             self.clock, daily_capacity=daily_capacity,
             registry=self.registry, name=name,
@@ -233,6 +238,8 @@ class CosmoService:
                 seed=seed,
             )
             self._resilient.breaker.attach_registry(self.registry, name=name)
+            if event_log is not None:
+                self._resilient.breaker.attach_event_log(event_log, component=name)
         else:
             self._resilient = None
 
@@ -262,8 +269,37 @@ class CosmoService:
         cache and calls the model synchronously.
         """
         if request.direct:
-            return self._serve_direct(request.query)
-        query = request.query
+            result = self._serve_direct(request.query)
+        else:
+            result = self._serve_cached(request.query, allow_enqueue)
+        self._note_outcome(result)
+        return result
+
+    def _note_outcome(self, result: ServeResult) -> None:
+        """Publish degraded-mode *transitions* into the event log.
+
+        Emitting per-request outcomes would flood the bounded log, so
+        only the edges are events: the first non-fresh answer after
+        fresh service enters degraded mode, the first fresh answer after
+        that exits it.
+        """
+        degraded = result.outcome is not ServeOutcome.FRESH
+        if self.event_log is not None:
+            if degraded and not self._in_degraded_mode:
+                self.event_log.emit(
+                    "service.degraded_entry", ts=self.clock.now(),
+                    component=self.name, outcome=result.outcome.value,
+                    source=result.source,
+                )
+            elif not degraded and self._in_degraded_mode:
+                self.event_log.emit(
+                    "service.degraded_exit", ts=self.clock.now(),
+                    component=self.name, source=result.source,
+                )
+        self._in_degraded_mode = degraded
+
+    def _serve_cached(self, query: str, allow_enqueue: bool) -> ServeResult:
+        """Cache path: fresh hit, else the degradation chain."""
         hit = self.cache.fetch(query, enqueue=allow_enqueue)
         if hit is not None:
             text, layer = hit
@@ -303,10 +339,21 @@ class CosmoService:
         Kept so pre-structured-API callers keep working; new code should
         call :meth:`serve` and read the :class:`ServeResult` envelope.
         """
+        warnings.warn(
+            "CosmoService.handle_request is deprecated; call "
+            "serve(ServeRequest(query=...)) and read ServeResult.text",
+            DeprecationWarning, stacklevel=2,
+        )
         return self.serve(ServeRequest(query=query)).text
 
     def handle_request_direct(self, query: str) -> str:
         """Deprecated string shim over ``serve`` in direct mode."""
+        warnings.warn(
+            "CosmoService.handle_request_direct is deprecated; call "
+            "serve(ServeRequest(query=..., direct=True)) and read "
+            "ServeResult.text",
+            DeprecationWarning, stacklevel=2,
+        )
         return self.serve(ServeRequest(query=query, direct=True)).text
 
     def _serve_direct(self, query: str) -> ServeResult:
@@ -406,6 +453,12 @@ class CosmoService:
                 for query in failed:
                     self._dead_letter(query, outcome.attempts, "retries exhausted")
                 self.cache.drop_pending(failed)
+                if self.event_log is not None:
+                    self.event_log.emit(
+                        "service.dead_letter", ts=self.clock.now(),
+                        component=self.name, count=len(failed),
+                        attempts=outcome.attempts,
+                    )
         else:
             try:
                 generations = self.generator.generate_knowledge(prompts)
@@ -462,6 +515,11 @@ class CosmoService:
             redriven += 1
         self.cache.apply_batch(responses)
         self.metrics.redriven += redriven
+        if self.event_log is not None:
+            self.event_log.emit(
+                "service.redrive", ts=self.clock.now(), component=self.name,
+                redriven=redriven, requeued=len(self.dead_letters),
+            )
         return redriven
 
     # ------------------------------------------------------------------

@@ -134,6 +134,8 @@ class CircuitBreaker:
         self._state_gauges: dict[BreakerState, object] = {}
         self._transition_counters: dict[BreakerState, object] = {}
         self._refusal_counter = None
+        self._event_log = None
+        self._event_component = "cosmo"
 
     # ------------------------------------------------------------------
     def attach_registry(self, registry, name: str = "cosmo") -> None:
@@ -174,6 +176,15 @@ class CircuitBreaker:
         self._refusal_counter.inc(self.refusals)
         self._publish_state()
 
+    def attach_event_log(self, event_log, component: str = "cosmo") -> None:
+        """Publish every subsequent state transition into a structured
+        :class:`~repro.obs.events.EventLog` (``breaker.open`` /
+        ``breaker.half-open`` / ``breaker.closed``), timestamped on this
+        breaker's own clock.
+        """
+        self._event_log = event_log
+        self._event_component = component
+
     def _publish_state(self) -> None:
         for state, gauge in self._state_gauges.items():
             gauge.set(1 if state is self.state else 0)
@@ -191,6 +202,12 @@ class CircuitBreaker:
         counter = self._transition_counters.get(new)
         if counter is not None:
             counter.inc()
+        if self._event_log is not None:
+            self._event_log.emit(
+                f"breaker.{new.value}", ts=self._clock.now(),
+                component=self._event_component,
+                opens=self.opens, refusals=self.refusals,
+            )
         self._publish_state()
 
     def _trip(self) -> None:

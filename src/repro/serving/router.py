@@ -63,6 +63,29 @@ class ConsistentHashRouter:
         ring.sort()
         self._ring = ring
         self._points = [point for point, _ in ring]
+        self._event_log = None
+        self._event_clock = None
+        self._event_component = "router"
+
+    # ------------------------------------------------------------------
+    def attach_event_log(self, event_log, clock, component: str = "router") -> None:
+        """Publish drain/restore transitions into a structured
+        :class:`~repro.obs.events.EventLog`.
+
+        The router itself is clockless, so ``clock`` is a zero-argument
+        callable returning simulated seconds (the cluster passes its
+        arrival clock's ``now``).
+        """
+        self._event_log = event_log
+        self._event_clock = clock
+        self._event_component = component
+
+    def _emit(self, kind: str, replica: str) -> None:
+        if self._event_log is not None:
+            self._event_log.emit(
+                kind, ts=self._event_clock(), component=self._event_component,
+                replica=replica, active=len(self.active),
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -88,11 +111,15 @@ class ConsistentHashRouter:
         if len(self._drained) + 1 >= len(self._replicas):
             raise ValueError("cannot drain the last active replica")
         self._drained.add(replica)
+        self._emit("router.drain", replica)
 
     def restore(self, replica: str) -> None:
         """Return a drained replica to rotation (its old keys come back)."""
         self._require(replica)
+        if replica not in self._drained:
+            return
         self._drained.discard(replica)
+        self._emit("router.restore", replica)
 
     def _require(self, replica: str) -> None:
         if replica not in self._replicas:

@@ -66,6 +66,7 @@ def test_list_rules_names_the_contract_set(capsys):
         assert rule_id in out
     assert rule_ids() == [
         "all-consistency",
+        "event-log-only",
         "float-equality",
         "mutable-default",
         "overbroad-except",

@@ -64,6 +64,12 @@ def fixture_package(tmp_path):
         def exported():
             return 1
         """)
+    module(serving / "printer.py", """
+        __all__ = ["announce"]
+
+        def announce(replica):
+            print("draining", replica)
+        """)
     return pkg
 
 
@@ -72,7 +78,7 @@ def test_json_reporter_exact_payload(fixture_package):
     payload = json.loads(format_json(result))
 
     assert payload["version"] == REPORT_VERSION
-    assert payload["files_checked"] == 8
+    assert payload["files_checked"] == 9
     assert payload["suppressed"] == 0
     assert payload["diagnostics"] == [
         {
@@ -133,6 +139,16 @@ def test_json_reporter_exact_payload(fixture_package):
                 "a simulated clock (only obs/timebase.py may read real time)"
             ),
         },
+        {
+            "rule": "event-log-only",
+            "path": str(fixture_package / "serving" / "printer.py"),
+            "line": 4,
+            "col": 5,
+            "message": (
+                "print() in a serving module bypasses the structured event "
+                "log; emit via obs.events.EventLog so alerts can correlate it"
+            ),
+        },
     ]
 
 
@@ -148,7 +164,7 @@ def test_text_reporter_lines_and_summary(fixture_package):
     result = lint_paths([fixture_package])
     text = format_text(result)
     lines = text.splitlines()
-    assert lines[-1] == "6 problems in 8 files (0 suppressed)"
+    assert lines[-1] == "7 problems in 9 files (0 suppressed)"
     assert f"{fixture_package / 'allmod.py'}:1:1: [all-consistency] " in lines[0]
     assert all(":" in line for line in lines[:-1])
 

@@ -5,6 +5,7 @@ import textwrap
 from repro.lint import lint_source
 from repro.lint.rules import (
     AllConsistencyRule,
+    EventLogOnlyRule,
     FloatEqualityRule,
     MutableDefaultRule,
     OverbroadExceptRule,
@@ -121,6 +122,47 @@ def test_wall_clock_allowlists_only_the_obs_timebase():
     flagged = run_rule(WallClockRule, source, path="src/repro/serving/timebase.py")
     assert [d.rule for d in flagged] == ["wall-clock"]
     assert "perf_counter" in flagged[0].message
+
+
+# -- event-log-only -----------------------------------------------------
+
+
+def test_event_log_only_flags_print_and_stream_writes_in_serving():
+    diags = run_rule(
+        EventLogOnlyRule,
+        """
+        import sys
+
+        def drain(replica):
+            print(f"draining {replica}")
+            sys.stderr.write("drained\\n")
+        """,
+        path="src/repro/serving/router.py",
+    )
+    assert [d.rule for d in diags] == ["event-log-only"] * 2
+    assert [d.line for d in diags] == [5, 6]
+    assert "EventLog" in diags[0].message
+
+
+def test_event_log_only_scoped_to_serving_trees():
+    source = """
+    print("table output")
+    """
+    assert run_rule(EventLogOnlyRule, source, path="src/repro/cli.py") == []
+    assert run_rule(EventLogOnlyRule, source, path="benchmarks/bench_x.py") == []
+    assert len(run_rule(EventLogOnlyRule, source,
+                        path="src/repro/serving/cluster.py")) == 1
+
+
+def test_event_log_only_respects_allowlist(monkeypatch):
+    source = """
+    print("human-only debug output")
+    """
+    assert len(run_rule(EventLogOnlyRule, source,
+                        path="src/repro/serving/debug.py")) == 1
+    monkeypatch.setattr(EventLogOnlyRule, "allowlist", ("serving/debug.py",))
+    assert run_rule(EventLogOnlyRule, source,
+                    path="src/repro/serving/debug.py") == []
 
 
 # -- mutable-default ----------------------------------------------------

@@ -97,6 +97,76 @@ def test_histogram_percentile_edge_cases():
         hist.percentile(-1)
 
 
+def test_histogram_empty_percentile_and_aggregates():
+    hist = Histogram(DEFAULT_LATENCY_BUCKETS_S)
+    assert hist.count == 0
+    assert hist.sum == 0.0
+    for q in (0, 50, 99, 100):
+        assert hist.percentile(q) == 0.0
+    assert hist.bucket_counts()[-1] == (float("inf"), 0)
+
+
+def test_histogram_samples_above_top_bucket_bound():
+    hist = Histogram((0.1, 1.0))
+    for value in (5.0, 9.0, 300.0):
+        hist.observe(value)
+    # Everything lands in the +Inf overflow bucket...
+    assert hist.bucket_counts() == [(0.1, 0), (1.0, 0), (float("inf"), 3)]
+    # ...yet percentiles stay clamped to the exact observed range, never
+    # to a bucket bound.
+    assert hist.percentile(0) == 5.0
+    assert hist.percentile(100) == 300.0
+    assert 5.0 <= hist.percentile(50) <= 300.0
+
+
+def test_histogram_merge_adds_exactly_and_rejects_bound_mismatch():
+    a = Histogram((0.1, 1.0))
+    b = Histogram((0.1, 1.0))
+    for value in (0.05, 0.5):
+        a.observe(value)
+    for value in (0.02, 7.0):
+        b.observe(value)
+    merged = Histogram(a.bounds).merge(a).merge(b)
+    assert merged.count == 4
+    assert merged.sum == pytest.approx(7.57)
+    assert merged.min == 0.02
+    assert merged.max == 7.0
+    assert merged.bucket_counts() == [(0.1, 2), (1.0, 3), (float("inf"), 4)]
+    # The copy idiom left the source untouched.
+    assert a.count == 2
+    with pytest.raises(ValueError):
+        a.merge(Histogram((0.5, 2.0)))
+
+
+def test_histogram_delta_recovers_the_window():
+    hist = Histogram((0.1, 1.0))
+    hist.observe(0.05)
+    before = Histogram(hist.bounds).merge(hist)
+    hist.observe(0.5)
+    hist.observe(0.7)
+    window = hist.delta(before)
+    assert window.count == 2
+    assert window.sum == pytest.approx(1.2)
+    # Window min/max are bucket-resolution estimates bracketing the
+    # true windowed samples.
+    assert window.min <= 0.5 and window.max >= 0.7
+    assert window.percentile(50) <= window.percentile(99)
+
+
+def test_histogram_delta_empty_window_and_shrunk_counts():
+    hist = Histogram((0.1, 1.0))
+    hist.observe(0.05)
+    snapshot = Histogram(hist.bounds).merge(hist)
+    window = hist.delta(snapshot)
+    assert window.count == 0
+    assert window.sum == 0.0
+    assert window.percentile(99) == 0.0
+    with pytest.raises(ValueError):
+        snapshot.delta(hist.merge(Histogram(hist.bounds).merge(hist)))
+    with pytest.raises(ValueError):
+        hist.delta(Histogram((0.5,)))
+
+
 # -- families and registry ----------------------------------------------
 
 

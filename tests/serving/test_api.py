@@ -110,6 +110,40 @@ def test_shim_and_serve_account_identically():
     assert via_shim.clock.now() == via_serve.clock.now()
 
 
+def test_shims_emit_deprecation_warnings():
+    import pytest
+
+    service = _service()
+    with pytest.deprecated_call(match="serve\\(ServeRequest"):
+        service.handle_request("q")
+    with pytest.deprecated_call(match="direct=True"):
+        service.handle_request_direct("q")
+
+
+def test_no_in_repo_caller_still_uses_the_shims():
+    """src/, benchmarks/, and examples/ are fully migrated to serve();
+    the string shims exist only for external callers (and the shim tests
+    above)."""
+    import ast
+    from pathlib import Path
+
+    import repro
+
+    repo_root = Path(repro.__file__).resolve().parents[2]
+    shimmed = {"handle_request", "handle_request_direct"}
+    offenders = []
+    for tree_root in ("src", "benchmarks", "examples"):
+        for path in sorted((repo_root / tree_root).rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in shimmed):
+                    offenders.append(f"{path.relative_to(repo_root)}:"
+                                     f"{node.lineno}")
+    assert offenders == []
+
+
 # -- KnowledgeGenerator protocol -------------------------------------------
 def test_serving_generators_satisfy_knowledge_generator_protocol():
     scripted = ScriptedGenerator()

@@ -124,6 +124,71 @@ def test_cluster_rejects_bad_fault_rate(capsys):
     assert "--fault-rate" in capsys.readouterr().out
 
 
+def test_monitor_chaos_fires_and_correlates_alerts(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_alert_report, validate_events, validate_timeline
+
+    def run(tag):
+        timeline = tmp_path / f"timeline-{tag}.json"
+        alerts = tmp_path / f"alerts-{tag}.json"
+        events = tmp_path / f"events-{tag}.jsonl"
+        code = main([
+            "monitor", "--seed", "0", "--scenario", "chaos",
+            "--out-timeline", str(timeline), "--out-alerts", str(alerts),
+            "--out-events", str(events),
+        ])
+        # Fired alerts make the run exit non-zero even though they resolved.
+        assert code == 1
+        return timeline.read_bytes(), alerts.read_bytes(), events.read_bytes()
+
+    first = run("a")
+    second = run("b")
+    # Simulated clocks end to end: artifacts are byte-stable.
+    assert first == second
+
+    validate_timeline(json.loads(first[0]))
+    report = json.loads(first[1])
+    validate_alert_report(report)
+    assert report["fired"] is True
+    availability = next(o for o in report["objectives"]
+                        if o["name"] == "availability")
+    (alert,) = availability["alerts"]
+    assert alert["state"] == "resolved"
+    assert alert["pending_ts"] < alert["firing_ts"] < alert["resolved_ts"]
+
+    events = validate_events(first[2].decode())
+    kinds = {e["kind"] for e in events}
+    assert {"breaker.open", "router.drain", "router.restore",
+            "service.degraded_entry", "service.degraded_exit"} <= kinds
+    # The resolved alert cross-references the operational transitions
+    # that explain it.
+    by_id = {e["event_id"]: e for e in events}
+    correlated = {by_id[i]["kind"] for i in alert["event_ids"] if i in by_id}
+    assert "breaker.open" in correlated and "router.drain" in correlated
+    out = capsys.readouterr().out
+    assert "request accounting" in out and "OK" in out
+
+
+def test_monitor_clean_scenario_stays_quiet(tmp_path, capsys):
+    import json
+
+    timeline = tmp_path / "timeline.json"
+    alerts = tmp_path / "alerts.json"
+    events = tmp_path / "events.jsonl"
+    code = main([
+        "monitor", "--seed", "0", "--scenario", "clean",
+        "--requests-per-phase", "200",
+        "--out-timeline", str(timeline), "--out-alerts", str(alerts),
+        "--out-events", str(events),
+    ])
+    assert code == 0
+    report = json.loads(alerts.read_text())
+    assert report["fired"] is False
+    assert all(not o["alerts"] for o in report["objectives"])
+    capsys.readouterr()
+
+
 def test_lint_subcommand_delegates_to_cosmolint(tmp_path, capsys):
     dirty = tmp_path / "mod.py"
     dirty.write_text("import numpy as np\nr = np.random.default_rng(1)\n")
