@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli cluster --seed 7 --replicas 3 --requests 2000
     python -m repro.cli monitor --seed 0 --scenario chaos \
         --out-timeline timeline.json --out-alerts alerts.json --out-events events.jsonl
+    python -m repro.cli rollout --seed 0 --scenario poisoned \
+        --out-timeline timeline.json --out-alerts alerts.json --out-events events.jsonl
 """
 
 from __future__ import annotations
@@ -551,6 +553,177 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     return 1 if fired or not ok else 0
 
 
+def cmd_rollout(args: argparse.Namespace) -> int:
+    """Blue/green snapshot rollout drive with SLO-guarded auto-rollback.
+
+    Builds a blue baseline snapshot, installs it cluster-wide, then asks
+    a :class:`~repro.refresh.rollout.RolloutController` to roll a green
+    child snapshot across the replicas one at a time while Zipf traffic
+    flows and the SLO evaluator watches burn rates.  The ``healthy``
+    scenario's green snapshot covers every query and the rollout must
+    complete with no alert ever firing; the ``poisoned`` scenario's
+    green snapshot has an *empty* serving table, so the first replica
+    restored onto it burns the availability SLO and the controller must
+    roll the cluster back to blue automatically (and re-drive the dead
+    letters the poisoned replica accumulated).
+
+    Every request is additionally checked for mixed-version leaks — a
+    fresh cache answer whose text belongs to a snapshot other than the
+    serving replica's authoritative version.  The exit code is 1 when
+    any such answer was served (2 when request accounting broke); both
+    scenarios normally exit 0, and CI asserts the scenario outcomes from
+    the printed verdicts and the ``rollout.*`` events instead.
+
+    All three artifacts replay byte-identically for fixed arguments.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.obs import (
+        EventLog,
+        MetricsRegistry,
+        SloEvaluator,
+        TimeSeriesCollector,
+        alert_report,
+        render_events,
+        timeline,
+        validate_alert_report,
+        validate_events,
+        validate_timeline,
+    )
+    from repro.refresh import (
+        RolloutController,
+        SnapshotGenerator,
+        SnapshotStore,
+        build_snapshot,
+        mixed_version_violation,
+        rollout_slo_specs,
+    )
+    from repro.serving import ClusterConfig, CosmoCluster
+    from repro.utils.rng import spawn_rng
+
+    def scripted_ok(text: str) -> bool:
+        return bool(text.strip()) and text.rstrip().endswith(".")
+
+    queries = [f"query {i:03d}" for i in range(args.n_queries)]
+    blue = build_snapshot({q: f"it is used for {q} (blue)." for q in queries},
+                          note="blue baseline")
+    if args.scenario == "healthy":
+        green = build_snapshot({q: f"it is used for {q} (green)." for q in queries},
+                               parent=blue, note="green refresh")
+    else:
+        # A refresh that lost its serving table: version checks out,
+        # content is useless.  The failure the SLO guard exists to catch.
+        green = build_snapshot({}, parent=blue, note="poisoned refresh")
+    store = SnapshotStore()
+    store.add(blue)
+
+    config = ClusterConfig(
+        n_replicas=args.replicas,
+        max_batch_size=args.max_batch_size,
+        max_batch_delay_s=args.max_batch_delay_s,
+        max_queue_depth=args.max_queue_depth,
+        seed=args.seed,
+    )
+    registry = MetricsRegistry()
+    event_log = EventLog(registry=registry)
+    cluster = CosmoCluster(lambda index: SnapshotGenerator(blue), config=config,
+                           registry=registry, event_log=event_log,
+                           response_validator=scripted_ok)
+    cluster.install_snapshot(blue)
+
+    specs = rollout_slo_specs(args.scrape_interval_s,
+                              latency_slo_s=args.latency_slo_s)
+    evaluator = SloEvaluator(registry, specs, event_log=event_log)
+    collector = TimeSeriesCollector(registry, interval_s=args.scrape_interval_s)
+    controller = RolloutController(cluster, store, green, evaluator)
+
+    rng = spawn_rng(args.seed, "rollout-traffic")
+    weights = 1.0 / np.arange(1, args.n_queries + 1) ** 1.3
+    weights /= weights.sum()
+    gap_s = args.inter_arrival_ms / 1000.0
+    violations = 0
+
+    def drive(n_requests: int, rolling: bool) -> None:
+        nonlocal violations
+        picks = rng.choice(args.n_queries, size=n_requests, p=weights)
+        for pick in picks:
+            result = cluster.handle(queries[int(pick)])
+            if mixed_version_violation(store, cluster, result):
+                violations += 1
+            cluster.clock.advance(gap_s)
+            for ts in collector.maybe_scrape(cluster.clock.now()):
+                evaluator.evaluate(ts)
+                if rolling and not controller.done:
+                    controller.tick(ts)
+
+    print(f"Rollout: scenario {args.scenario}, {config.n_replicas} replica(s), "
+          f"{blue.version} -> {green.version}, scrape every "
+          f"{args.scrape_interval_s:g}s...")
+    drive(args.requests_per_phase, rolling=False)        # warm: all-blue baseline
+    drive(2 * args.requests_per_phase, rolling=True)     # rollout under traffic
+    drive(args.requests_per_phase, rolling=False)        # settle: steady state
+    cluster.flush()
+
+    timeline_payload = timeline(collector)
+    validate_timeline(timeline_payload)
+    report = alert_report(evaluator)
+    validate_alert_report(report)
+    events_text = render_events(event_log)
+    validate_events(events_text)
+    if args.out_timeline:
+        with open(args.out_timeline, "w") as handle:
+            handle.write(json.dumps(timeline_payload, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        print(f"Wrote time-series timeline to {args.out_timeline}")
+    if args.out_alerts:
+        with open(args.out_alerts, "w") as handle:
+            handle.write(json.dumps(report, sort_keys=True, indent=2) + "\n")
+        print(f"Wrote alert report to {args.out_alerts}")
+    if args.out_events:
+        with open(args.out_events, "w") as handle:
+            handle.write(events_text)
+        print(f"Wrote event log to {args.out_events}")
+
+    rollout = controller.report()
+    totals = cluster.metrics_totals()
+    table = Table("Rollout drive", ["Metric", "Value"])
+    table.add_row("Scenario", args.scenario)
+    table.add_row("Rollout state", rollout.state)
+    table.add_row("Steps executed", len(rollout.steps))
+    table.add_row("Requests", totals["requests"])
+    table.add_row("Availability (served)", format_percent(cluster.availability))
+    table.add_row("Fallbacks", totals["fallbacks"])
+    table.add_row("Dead-lettered / redriven",
+                  f"{sum(s.metrics.dead_lettered for s in cluster.services.values())}"
+                  f" / {sum(s.metrics.redriven for s in cluster.services.values())}")
+    table.add_row("Mixed-version answers", violations)
+    table.add_row("p50 / p99 latency",
+                  f"{cluster.percentile(50) * 1000:.2f} / "
+                  f"{cluster.percentile(99) * 1000:.2f} ms")
+    print(table.render())
+    versions = cluster.snapshot_versions()
+    print("replica versions: "
+          + ", ".join(f"{r}={v}" for r, v in sorted(versions.items())))
+    if rollout.rolled_back:
+        print(f"rollback: objective {rollout.rollback_objective} "
+              f"(alert {rollout.rollback_alert}), {rollout.redriven} dead "
+              f"letter(s) redriven")
+    print(f"SLO verdict: {'ALERTS FIRED' if evaluator.any_fired else 'no alerts fired'}")
+
+    accounted = (totals["served_fresh"] + totals["degraded_serves"]
+                 + totals["fallbacks"])
+    ok = accounted == totals["requests"] == totals["handled"]
+    print(f"request accounting: fresh + degraded + fallbacks = {accounted} "
+          f"== requests = {totals['requests']}: {'OK' if ok else 'VIOLATED'}")
+    print(f"mixed-version answers: {violations} "
+          f"({'OK' if violations == 0 else 'VIOLATED'})")
+    if not ok:
+        return 2
+    return 1 if violations else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -669,6 +842,37 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--out-events", type=str, default="",
                          help="write the repro.obs.events/v1 JSONL here")
     monitor.set_defaults(func=cmd_monitor)
+
+    rollout = sub.add_parser(
+        "rollout",
+        help="blue/green snapshot rollout drive with SLO-guarded rollback")
+    rollout.add_argument("--seed", type=int, default=7)
+    rollout.add_argument("--scenario", choices=("healthy", "poisoned"),
+                         default="healthy",
+                         help="healthy rolls a complete green snapshot to "
+                              "completion; poisoned rolls an empty one and "
+                              "must auto-rollback")
+    rollout.add_argument("--replicas", type=int, default=3)
+    rollout.add_argument("--requests-per-phase", type=int, default=700,
+                         help="requests in the warm and settle phases (the "
+                              "rollout phase drives twice this)")
+    rollout.add_argument("--n-queries", type=int, default=120,
+                         help="distinct queries in the Zipf traffic universe")
+    rollout.add_argument("--inter-arrival-ms", type=float, default=5.0)
+    rollout.add_argument("--scrape-interval-s", type=float, default=0.5,
+                         help="scrape grid; the controller advances one "
+                              "rollout step per scrape")
+    rollout.add_argument("--latency-slo-s", type=float, default=0.25)
+    rollout.add_argument("--max-batch-size", type=int, default=16)
+    rollout.add_argument("--max-batch-delay-s", type=float, default=0.25)
+    rollout.add_argument("--max-queue-depth", type=int, default=300)
+    rollout.add_argument("--out-timeline", type=str, default="",
+                         help="write the repro.obs.timeseries/v1 JSON here")
+    rollout.add_argument("--out-alerts", type=str, default="",
+                         help="write the repro.obs.alerts/v1 JSON here")
+    rollout.add_argument("--out-events", type=str, default="",
+                         help="write the repro.obs.events/v1 JSONL here")
+    rollout.set_defaults(func=cmd_rollout)
 
     lint = sub.add_parser(
         "lint", help="run cosmolint, the repo's static invariant checker")

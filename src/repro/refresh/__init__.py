@@ -1,0 +1,62 @@
+"""Incremental knowledge refresh and zero-downtime rollout.
+
+The offline pipeline (§3.2-§3.4) is one-shot: it produces a knowledge
+graph and the serving layer consumes it forever.  Production COSMO
+regenerates knowledge continuously, which raises two problems this
+package solves:
+
+* **versioned snapshots** — :mod:`repro.refresh.snapshot` freezes each
+  refresh round into an immutable, content-addressed
+  :class:`KgSnapshot` (triples + serving entries + a
+  :class:`SnapshotManifest` with checksum and parent lineage), so the
+  serving layer can name exactly which knowledge it is serving and roll
+  between versions atomically;
+* **incremental ingestion** — :class:`KnowledgeRefresher` drives
+  mini-batches of new behaviors through the existing candidate
+  generation → filtering → critic scoring stages and merges the
+  survivors into a child snapshot, with a bounded per-round LLM call
+  budget (the E-CARE-motivated cost cap);
+* **blue/green rollout** — :class:`RolloutController` rolls a child
+  snapshot across a :class:`~repro.serving.cluster.CosmoCluster` one
+  replica at a time (drain → swap+warm → restore) while watching the
+  :class:`~repro.obs.slo.SloEvaluator` burn-rate signals, and rolls the
+  cluster back to the parent snapshot automatically when availability
+  or latency SLOs start burning mid-rollout.
+
+Snapshots are constructed only through :func:`build_snapshot` (the
+``snapshot-builder-only`` cosmolint rule enforces this outside this
+package), which is what makes version ids trustworthy: a version names
+exactly one byte-for-byte content.
+"""
+
+from repro.refresh.builder import KnowledgeRefresher, RefreshConfig, RefreshReport
+from repro.refresh.rollout import (
+    RolloutController,
+    RolloutReport,
+    RolloutState,
+    SnapshotGenerator,
+    mixed_version_violation,
+    rollout_slo_specs,
+)
+from repro.refresh.snapshot import (
+    KgSnapshot,
+    SnapshotManifest,
+    SnapshotStore,
+    build_snapshot,
+)
+
+__all__ = [
+    "SnapshotManifest",
+    "KgSnapshot",
+    "SnapshotStore",
+    "build_snapshot",
+    "RefreshConfig",
+    "RefreshReport",
+    "KnowledgeRefresher",
+    "RolloutState",
+    "RolloutController",
+    "RolloutReport",
+    "SnapshotGenerator",
+    "rollout_slo_specs",
+    "mixed_version_violation",
+]

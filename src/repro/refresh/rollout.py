@@ -1,0 +1,339 @@
+"""SLO-guarded blue/green snapshot rollout across a serving cluster.
+
+:class:`RolloutController` deploys a child snapshot one replica at a
+time: drain the replica via the consistent-hash router (its keys move to
+ring neighbors, everything else stays put), swap its snapshot (one
+atomic step that also warms the cache from the snapshot's serving
+table), restore it, then move to the next replica.  The controller is
+tick-driven — call :meth:`RolloutController.tick` once per telemetry
+scrape, after the :class:`~repro.obs.slo.SloEvaluator` evaluated — and
+executes exactly one step per tick, so SLO damage from any step is
+observed before the next one runs.
+
+Before every step the controller checks the guard: if any guarded
+objective (availability, latency by default) has an alert pending or
+firing, the rollout **rolls back in the same tick** — drained replicas
+are restored, every replica already on the target version is re-drained,
+re-swapped to the parent snapshot and restored, and the dead-letter
+queues are re-driven so queries that died against the bad snapshot heal
+immediately.  Every state edge lands in the structured event log
+(``rollout.*`` kinds) and under a tracer span, so alert reports
+cross-reference the rollout that caused them.
+
+:class:`SnapshotGenerator` is the version-aware generator used by the
+rollout drives: it answers exactly what the replica's current snapshot
+says, so "which version is this replica serving" has ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.llm.interface import Generation, LatencyModel
+from repro.obs.slo import Alert, BurnRateRule, MetricSum, SloEvaluator, SloSpec
+from repro.serving.api import ServeOutcome, ServeResult
+from repro.serving.cluster import CosmoCluster
+from repro.refresh.snapshot import KgSnapshot, SnapshotStore
+
+__all__ = [
+    "SnapshotGenerator",
+    "RolloutState",
+    "RolloutReport",
+    "RolloutController",
+    "rollout_slo_specs",
+    "mixed_version_violation",
+]
+
+
+class SnapshotGenerator:
+    """Deterministic generator that serves a snapshot's knowledge table.
+
+    Prompts found in the current snapshot's entries answer with that
+    exact text; unknown prompts produce an empty generation, which the
+    serving stack's output validator rejects — a snapshot with missing
+    entries therefore *fails loudly* (retries, dead letters, burned
+    availability) instead of inventing text, which is what lets the
+    rollout guard catch a poisoned snapshot.
+    """
+
+    parameter_count = 7_000_000
+
+    def __init__(self, snapshot: KgSnapshot):
+        self.latency = LatencyModel()
+        self.snapshot = snapshot
+
+    def set_snapshot(self, snapshot: KgSnapshot) -> None:
+        """The atomic-swap hook :meth:`CosmoService.swap_snapshot` calls."""
+        self.snapshot = snapshot
+
+    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
+        outputs = []
+        for prompt in prompts:
+            latency = self.latency.charge(self.parameter_count, 10)
+            text = self.snapshot.entries.get(prompt, "")
+            outputs.append(Generation(text=text, tokens=10, latency_s=latency))
+        return outputs
+
+
+def rollout_slo_specs(
+    scrape_interval_s: float,
+    latency_slo_s: float = 0.25,
+    availability_target: float = 0.99,
+    latency_target: float = 0.95,
+) -> list[SloSpec]:
+    """The two objectives a rollout is guarded by.
+
+    Windows are expressed in scrape intervals (the guard can only act
+    once per scrape anyway): burn must exceed 10x sustainable over both
+    a one-scrape short window and a four-scrape long window, hold one
+    scrape before firing, and clear two scrapes before resolving.
+    """
+    windows = (BurnRateRule(long_s=4 * scrape_interval_s,
+                            short_s=scrape_interval_s,
+                            max_burn_rate=10.0),)
+    hold = scrape_interval_s
+    release = 2 * scrape_interval_s
+    lookback = 5 * scrape_interval_s
+    served = ("serving_served_fresh_total", "serving_degraded_serves_total")
+    return [
+        SloSpec(
+            name="availability",
+            description="requests answered with knowledge (fresh or degraded)",
+            target=availability_target,
+            good=MetricSum(served),
+            total=MetricSum(served + ("serving_fallbacks_total",)),
+            windows=windows,
+            for_s=hold, resolve_after_s=release, event_lookback_s=lookback,
+        ),
+        SloSpec(
+            name="latency-p99",
+            description=f"end-to-end latency under {latency_slo_s:g}s",
+            target=latency_target,
+            good=MetricSum(("cluster_request_latency_seconds",),
+                           le=latency_slo_s),
+            total=MetricSum(("cluster_request_latency_seconds",)),
+            windows=windows,
+            for_s=hold, resolve_after_s=release, event_lookback_s=lookback,
+        ),
+    ]
+
+
+class RolloutState(str, Enum):
+    """Lifecycle of one rollout attempt."""
+
+    IDLE = "idle"                  #: created, no tick yet
+    ROLLING = "rolling"            #: stepping through the replica plan
+    COMPLETE = "complete"          #: every replica on the target version
+    ROLLED_BACK = "rolled_back"    #: guard tripped; cluster back on parent
+
+
+@dataclass(frozen=True)
+class RolloutReport:
+    """Outcome of one rollout attempt."""
+
+    target_version: str
+    parent_version: str
+    state: str
+    steps: tuple[str, ...]
+    rolled_back: bool
+    rollback_objective: str
+    rollback_alert: str
+    redriven: int
+
+    def as_dict(self) -> dict:
+        return {
+            "target_version": self.target_version,
+            "parent_version": self.parent_version,
+            "state": self.state,
+            "steps": list(self.steps),
+            "rolled_back": self.rolled_back,
+            "rollback_objective": self.rollback_objective,
+            "rollback_alert": self.rollback_alert,
+            "redriven": self.redriven,
+        }
+
+
+class RolloutController:
+    """Tick-driven blue/green rollout with automatic SLO rollback.
+
+    ``target`` must carry a parent version registered in ``store`` —
+    the rollback destination.  ``guarded`` names the evaluator
+    objectives whose pending/firing alerts abort the rollout; they must
+    exist in the evaluator so a typo cannot silently disable the guard.
+    """
+
+    def __init__(
+        self,
+        cluster: CosmoCluster,
+        store: SnapshotStore,
+        target: KgSnapshot,
+        evaluator: SloEvaluator,
+        guarded: tuple[str, ...] = ("availability", "latency-p99"),
+    ):
+        if target.parent is None:
+            raise ValueError(
+                f"target {target.version} has no parent version; a rollout "
+                "needs a rollback destination"
+            )
+        store.add(target)
+        self.cluster = cluster
+        self.store = store
+        self.target = target
+        self.parent = store.get(target.parent)
+        self.evaluator = evaluator
+        known = {spec.name for spec in evaluator.specs}
+        missing = [name for name in guarded if name not in known]
+        if missing:
+            raise ValueError(f"guarded objectives not in evaluator: {missing}")
+        self.guarded = tuple(guarded)
+        self.state = RolloutState.IDLE
+        self.rollback_objective = ""
+        self.rollback_alert = ""
+        self.redriven = 0
+        self.steps_executed: list[str] = []
+        self._plan: list[tuple[str, str]] = [
+            (step, replica_id)
+            for replica_id in cluster.router.replicas
+            for step in ("drain", "swap", "restore")
+        ]
+        self._step_index = 0
+
+    @property
+    def done(self) -> bool:
+        return self.state in (RolloutState.COMPLETE, RolloutState.ROLLED_BACK)
+
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> str | None:
+        """Advance the rollout by one step.
+
+        Call once per scrape, *after* ``evaluator.evaluate(now)`` — the
+        guard reads the freshly-stepped alert state.  Returns the step
+        executed (``"drain"``/``"swap"``/``"restore"``/``"rollback"``)
+        or None when the rollout is already finished.
+        """
+        if self.done:
+            return None
+        if self.state is RolloutState.IDLE:
+            self.state = RolloutState.ROLLING
+            self._emit("rollout.start", version=self.target.version,
+                       parent=self.parent.version,
+                       replicas=len(self.cluster.router.replicas))
+        breach = self._guard_breached()
+        if breach is not None:
+            self._rollback(breach)
+            return "rollback"
+        step, replica_id = self._plan[self._step_index]
+        with self.cluster.tracer.span(f"rollout.{step}", replica=replica_id,
+                                      version=self.target.version):
+            if step == "drain":
+                self.cluster.drain(replica_id)
+            elif step == "swap":
+                invalidated = self.cluster.swap_snapshot(replica_id, self.target)
+                self._emit("rollout.swap", replica=replica_id,
+                           version=self.target.version, invalidated=invalidated)
+            else:
+                self.cluster.restore(replica_id)
+        self.steps_executed.append(f"{step}:{replica_id}")
+        self._step_index += 1
+        if self._step_index == len(self._plan):
+            self.state = RolloutState.COMPLETE
+            self._emit("rollout.complete", version=self.target.version,
+                       steps=len(self.steps_executed))
+        return step
+
+    # ------------------------------------------------------------------
+    def _guard_breached(self) -> Alert | None:
+        """The first pending/firing alert on a guarded objective, if any."""
+        for alert in self.evaluator.alerts():
+            if alert.objective in self.guarded and alert.state in ("pending",
+                                                                   "firing"):
+                return alert
+        return None
+
+    def _rollback(self, breach: Alert) -> None:
+        """Return the whole cluster to the parent snapshot in one tick.
+
+        Order matters: mid-step drained replicas are restored first
+        (rolling back must never leave capacity down), then every
+        replica already on the target version is drained, re-swapped to
+        the parent and restored, and finally the dead-letter queues are
+        re-driven against the restored knowledge.
+        """
+        self.rollback_objective = breach.objective
+        self.rollback_alert = breach.alert_id
+        self._emit("rollout.rollback_start", version=self.target.version,
+                   objective=breach.objective, alert_id=breach.alert_id,
+                   peak_burn_rate=breach.peak_burn_rate)
+        router = self.cluster.router
+        with self.cluster.tracer.span("rollout.rollback",
+                                      version=self.parent.version):
+            for replica_id in router.replicas:
+                if router.is_drained(replica_id):
+                    self.cluster.restore(replica_id)
+            for replica_id in router.replicas:
+                service = self.cluster.services[replica_id]
+                if service.snapshot_version != self.target.version:
+                    continue
+                try:
+                    self.cluster.drain(replica_id)
+                    drained = True
+                except ValueError:
+                    drained = False  # single-replica cluster: swap in place
+                invalidated = self.cluster.swap_snapshot(replica_id, self.parent)
+                self._emit("rollout.swap", replica=replica_id,
+                           version=self.parent.version, invalidated=invalidated)
+                if drained:
+                    self.cluster.restore(replica_id)
+            self.redriven = self.cluster.redrive_dead_letters()
+        self.steps_executed.append("rollback")
+        self.state = RolloutState.ROLLED_BACK
+        self._emit("rollout.rollback_complete", version=self.parent.version,
+                   redriven=self.redriven)
+
+    def _emit(self, kind: str, **attrs) -> None:
+        if self.cluster.event_log is not None:
+            self.cluster.event_log.emit(
+                kind, ts=self.cluster.clock.now(),
+                component=self.cluster.config.name, **attrs,
+            )
+
+    # ------------------------------------------------------------------
+    def report(self) -> RolloutReport:
+        return RolloutReport(
+            target_version=self.target.version,
+            parent_version=self.parent.version,
+            state=self.state.value,
+            steps=tuple(self.steps_executed),
+            rolled_back=self.state is RolloutState.ROLLED_BACK,
+            rollback_objective=self.rollback_objective,
+            rollback_alert=self.rollback_alert,
+            redriven=self.redriven,
+        )
+
+
+def mixed_version_violation(store: SnapshotStore, cluster: CosmoCluster,
+                            result: ServeResult) -> bool:
+    """Did this answer leak from a different snapshot version?
+
+    True when a FRESH cache answer's text belongs to a version other
+    than the serving replica's authoritative ``snapshot_version`` — the
+    stale-cache leak version-scoped invalidation exists to prevent.
+    Degraded serves are exempt by design (serving *known-stale*
+    knowledge, marked as such, is the degradation contract).
+    """
+    if result.outcome is not ServeOutcome.FRESH:
+        return False
+    if not result.source.startswith("cache:"):
+        return False
+    version = cluster.services[result.replica].snapshot_version
+    if version is None:
+        return False
+    expected = store.get(version).entries.get(result.query)
+    if expected is not None and result.text == expected:
+        return False
+    return any(
+        snap.version != version
+        and snap.entries.get(result.query) == result.text
+        for snap in store.snapshots()
+    )

@@ -1,0 +1,210 @@
+"""Immutable, content-addressed knowledge-graph snapshots.
+
+A snapshot is the unit of knowledge deployment: the triples a refresh
+round produced, the query → knowledge serving table derived from them,
+and a :class:`SnapshotManifest` naming the content.  Version ids are
+content-addressed — ``v-<12 hex chars>`` of a BLAKE2b digest over the
+parent version, the sorted serving entries and the sorted triple
+identities — so two snapshots with the same content share a version and
+any content difference yields a new one.  That property is what the
+rollout layer leans on: "replica r1 is on ``v-3f2a...``" is a complete
+statement about what r1 serves.
+
+Snapshots are constructed **only** through :func:`build_snapshot`; the
+:class:`KgSnapshot` constructor takes a private token and the
+``snapshot-builder-only`` cosmolint rule bans direct construction
+outside :mod:`repro.refresh`.  Entries are exposed through a read-only
+mapping proxy and triples as a tuple, so a published version can never
+drift from its checksum.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Iterable, Mapping
+
+from repro.core.triples import KnowledgeTriple
+
+__all__ = ["SnapshotManifest", "KgSnapshot", "SnapshotStore", "build_snapshot"]
+
+#: Construction capability for :class:`KgSnapshot`; owned by
+#: :func:`build_snapshot`.
+_BUILDER_TOKEN = object()
+
+
+@dataclass(frozen=True)
+class SnapshotManifest:
+    """Identity and lineage of one snapshot.
+
+    ``version`` is derived from ``checksum`` (``v-`` + its first 12 hex
+    chars); ``parent`` is the version this snapshot was refreshed from
+    (None for a root snapshot); ``note`` is free-form operator context
+    (never hashed — annotating a snapshot does not re-version it).
+    """
+
+    version: str
+    parent: str | None
+    checksum: str
+    entry_count: int
+    triple_count: int
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "parent": self.parent,
+            "checksum": self.checksum,
+            "entry_count": self.entry_count,
+            "triple_count": self.triple_count,
+            "note": self.note,
+        }
+
+
+class KgSnapshot:
+    """One immutable knowledge deployment unit.
+
+    ``entries`` maps serving queries to knowledge text (what the cache
+    warms from and the snapshot generator answers with); ``triples`` are
+    the KG edges backing those entries.  Both views are read-only.
+    """
+
+    __slots__ = ("manifest", "_entries", "_triples")
+
+    def __init__(self, manifest: SnapshotManifest,
+                 entries: Mapping[str, str],
+                 triples: tuple[KnowledgeTriple, ...],
+                 token: object = None):
+        if token is not _BUILDER_TOKEN:
+            raise TypeError(
+                "KgSnapshot must be constructed via "
+                "repro.refresh.build_snapshot(); direct construction would "
+                "bypass content addressing"
+            )
+        self.manifest = manifest
+        self._entries = MappingProxyType(dict(entries))
+        self._triples = triples
+
+    @property
+    def version(self) -> str:
+        return self.manifest.version
+
+    @property
+    def parent(self) -> str | None:
+        return self.manifest.parent
+
+    @property
+    def entries(self) -> Mapping[str, str]:
+        """Read-only query → knowledge serving table."""
+        return self._entries
+
+    @property
+    def triples(self) -> tuple[KnowledgeTriple, ...]:
+        return self._triples
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (f"KgSnapshot({self.version}, parent={self.parent}, "
+                f"{len(self._entries)} entries, {len(self._triples)} triples)")
+
+
+def _checksum(parent: str | None, entries: Mapping[str, str],
+              triples: Iterable[KnowledgeTriple]) -> str:
+    """Canonical BLAKE2b digest of a snapshot's content.
+
+    Triple identity is ``(head, relation, tail, support)`` — support
+    merges from a refresh round change content, score jitter does not
+    re-version an otherwise identical graph.
+    """
+    canonical = json.dumps(
+        {
+            "parent": parent,
+            "entries": sorted(entries.items()),
+            "triples": sorted(
+                (t.head, t.relation.value, t.tail, t.support) for t in triples
+            ),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def build_snapshot(
+    entries: Mapping[str, str],
+    triples: Iterable[KnowledgeTriple] = (),
+    parent: KgSnapshot | None = None,
+    note: str = "",
+) -> KgSnapshot:
+    """The sole constructor of :class:`KgSnapshot`.
+
+    Copies ``entries`` and ``triples``, computes the content checksum
+    and derives the version id from it.  ``parent`` links lineage: the
+    rollout controller rolls back to ``snapshot.parent`` by version.
+    """
+    frozen_triples = tuple(triples)
+    parent_version = parent.version if parent is not None else None
+    checksum = _checksum(parent_version, entries, frozen_triples)
+    manifest = SnapshotManifest(
+        version=f"v-{checksum[:12]}",
+        parent=parent_version,
+        checksum=checksum,
+        entry_count=len(entries),
+        triple_count=len(frozen_triples),
+        note=note,
+    )
+    return KgSnapshot(manifest, entries, frozen_triples, token=_BUILDER_TOKEN)
+
+
+class SnapshotStore:
+    """Version → snapshot registry with parent lineage.
+
+    The rollout controller resolves rollback targets here; the CLI uses
+    it to check served text against *every* known version when hunting
+    mixed-version serving.
+    """
+
+    def __init__(self):
+        self._snapshots: dict[str, KgSnapshot] = {}
+
+    def add(self, snapshot: KgSnapshot) -> KgSnapshot:
+        """Register a snapshot; re-adding the same version is a no-op
+        (content addressing makes it literally the same content)."""
+        existing = self._snapshots.get(snapshot.version)
+        if existing is not None:
+            return existing
+        if snapshot.parent is not None and snapshot.parent not in self._snapshots:
+            raise KeyError(
+                f"parent version {snapshot.parent!r} of {snapshot.version!r} "
+                "is not in the store; add lineage oldest-first"
+            )
+        self._snapshots[snapshot.version] = snapshot
+        return snapshot
+
+    def get(self, version: str) -> KgSnapshot:
+        try:
+            return self._snapshots[version]
+        except KeyError:
+            raise KeyError(f"unknown snapshot version {version!r}") from None
+
+    def parent_of(self, version: str) -> KgSnapshot | None:
+        """The registered parent snapshot of ``version``, or None."""
+        parent = self.get(version).parent
+        return self._snapshots[parent] if parent is not None else None
+
+    def __contains__(self, version: str) -> bool:
+        return version in self._snapshots
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def versions(self) -> list[str]:
+        """Registered versions in insertion (lineage) order."""
+        return list(self._snapshots)
+
+    def snapshots(self) -> list[KgSnapshot]:
+        return list(self._snapshots.values())

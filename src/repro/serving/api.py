@@ -4,7 +4,8 @@ The serving stack's original entrypoint was a stringly-typed
 ``handle_request(query) -> str``, which made it impossible for callers
 (and for the cluster router) to distinguish a fresh answer from a
 degraded one or a fallback without re-deriving the outcome from metric
-deltas.  This module is the typed replacement:
+deltas.  This module is the typed replacement (the string shims were
+deprecated in favor of it and have since been removed):
 
 * :class:`ServeRequest` — one query plus its serving mode (cached or
   direct-to-model);
@@ -15,10 +16,9 @@ deltas.  This module is the typed replacement:
   layer of the degradation chain produced the text), simulated latency,
   and the id of the replica that served it.
 
-``CosmoService.serve`` is the structured entrypoint;
-``CosmoService.handle_request`` remains as a thin deprecated shim that
-returns ``serve(...).text``.  :class:`~repro.serving.cluster.CosmoCluster`
-consumes only the structured surface.
+``CosmoService.serve`` is the sole entrypoint;
+:class:`~repro.serving.cluster.CosmoCluster` consumes only the
+structured surface.
 
 The generation side of the contract is
 :class:`~repro.llm.interface.KnowledgeGenerator` (re-exported here):

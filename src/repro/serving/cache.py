@@ -11,6 +11,7 @@ hit rate, latency and staleness measurable quantities.
 from __future__ import annotations
 
 from collections import Counter
+from typing import Mapping
 
 from repro.obs.metrics import MetricsRegistry
 from repro.serving.clock import SimClock
@@ -51,6 +52,10 @@ class CacheStats:
             "cache_pending_evictions_total",
             "pending-queue entries evicted (capacity or age)", ("store",),
         ).labels(store=store)
+        self._counters["snapshot_invalidations"] = self.registry.counter(
+            "cache_snapshot_invalidations_total",
+            "entries invalidated by snapshot swaps (version-scoped)", ("store",),
+        ).labels(store=store)
 
     @property
     def requests(self) -> int:
@@ -76,7 +81,7 @@ def _stat_property(attr: str) -> property:
     return property(fget, fset)
 
 
-for _attr in (*_OUTCOMES, "pending_evictions"):
+for _attr in (*_OUTCOMES, "pending_evictions", "snapshot_invalidations"):
     setattr(CacheStats, _attr, _stat_property(_attr))
 
 
@@ -98,6 +103,10 @@ class AsyncCacheStore:
         self._daily_day: int = clock.day
         self._daily_capacity = daily_capacity
         self._pending: dict[str, int] = {}  # query → enqueue day
+        #: Snapshot version each daily entry was computed under; entries
+        #: tagged with any other version die on the next snapshot swap.
+        self._daily_tags: dict[str, str | None] = {}
+        self._snapshot_version: str | None = None
         self._pending_capacity = pending_capacity
         self._pending_max_age_days = pending_max_age_days
         self.stats = CacheStats(registry=registry, store=name)
@@ -156,6 +165,7 @@ class AsyncCacheStore:
         accumulating forever."""
         if self._clock.day != self._daily_day:
             self._daily.clear()
+            self._daily_tags.clear()
             self._daily_day = self._clock.day
             self._evict_stale_pending()
 
@@ -168,6 +178,39 @@ class AsyncCacheStore:
         for query in stale:
             del self._pending[query]
             self.stats.pending_evictions += 1
+
+    def install_snapshot(self, version: str, entries: Mapping[str, str]) -> int:
+        """Atomically swap the cache onto a knowledge snapshot.
+
+        Replaces the yearly layer with the snapshot's serving table (the
+        warm step of a blue/green swap) and drops daily entries tagged
+        with any *other* snapshot version — stale entries die with their
+        version instead of leaking the old knowledge after the swap.
+        The pending queue survives: in-flight misses are still real
+        demand under the new snapshot.  Returns the number of entries
+        invalidated (0 when re-installing the current version — the
+        operation is idempotent, which lets rollout retries re-run it).
+        """
+        self._roll_daily_layer()
+        invalidated = 0
+        if version != self._snapshot_version:
+            invalidated += len(self._yearly)
+            stale = [query for query, tag in self._daily_tags.items()
+                     if tag != version]
+            for query in stale:
+                self._daily.pop(query, None)
+                del self._daily_tags[query]
+            invalidated += len(stale)
+        self._yearly = dict(entries)
+        self._snapshot_version = version
+        self.stats.snapshot_invalidations += invalidated
+        self._publish_sizes()
+        return invalidated
+
+    @property
+    def snapshot_version(self) -> str | None:
+        """The snapshot version the yearly layer was installed from."""
+        return self._snapshot_version
 
     # ------------------------------------------------------------------
     def pending_queries(self) -> list[str]:
@@ -182,6 +225,7 @@ class AsyncCacheStore:
             if len(self._daily) >= self._daily_capacity:
                 break
             self._daily[query] = response
+            self._daily_tags[query] = self._snapshot_version
             self._pending.pop(query, None)
             installed += 1
         self._publish_sizes()

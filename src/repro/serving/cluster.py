@@ -338,6 +338,37 @@ class CosmoCluster:
         self.router.restore(replica_id)
 
     # ------------------------------------------------------------------
+    # Snapshot deployment
+    # ------------------------------------------------------------------
+    def swap_snapshot(self, replica_id: str, snapshot) -> int:
+        """Swap one replica onto a knowledge snapshot (cache warm +
+        generator repoint in one atomic step); the blue/green rollout's
+        per-replica move.  Returns invalidated cache entries."""
+        service = self.services[replica_id]
+        with self.tracer.span("cluster.swap_snapshot", replica=replica_id,
+                              version=snapshot.manifest.version) as span:
+            invalidated = service.swap_snapshot(snapshot)
+            span.set_attribute("invalidated", invalidated)
+        return invalidated
+
+    def install_snapshot(self, snapshot) -> int:
+        """Swap every replica onto ``snapshot`` at once — the initial
+        install, or the naive restart-style deploy the rollout bench
+        compares against."""
+        return sum(self.swap_snapshot(replica_id, snapshot)
+                   for replica_id in self.router.replicas)
+
+    def snapshot_versions(self) -> dict[str, str | None]:
+        """Authoritative snapshot version per replica."""
+        return {replica_id: service.snapshot_version
+                for replica_id, service in self.services.items()}
+
+    def redrive_dead_letters(self) -> int:
+        """Immediately re-drive every replica's dead-letter queue."""
+        return sum(service.redrive_dead_letters()
+                   for service in self.services.values())
+
+    # ------------------------------------------------------------------
     # Readouts
     # ------------------------------------------------------------------
     @property

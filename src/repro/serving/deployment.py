@@ -25,7 +25,6 @@ the baseline arm of ``benchmarks/bench_ablation_resilience.py``.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.obs.events import EventLog
@@ -224,6 +223,7 @@ class CosmoService:
         self.features = FeatureStore(self.clock, registry=self.registry, name=name)
         self.metrics = ServingMetrics(registry=self.registry, service=name)
         self.dead_letters: list[DeadLetter] = []
+        self._snapshot_version: str | None = None
         self._prompt_builder = prompt_builder or (lambda query: query)
         self._fallback = fallback_response
         self._feedback: list[tuple[str, str, bool]] = []
@@ -247,6 +247,38 @@ class CosmoService:
     def breaker(self) -> CircuitBreaker | None:
         """The circuit breaker, when resilience is enabled."""
         return self._resilient.breaker if self._resilient is not None else None
+
+    @property
+    def snapshot_version(self) -> str | None:
+        """The knowledge snapshot version this replica authoritatively
+        serves (None until the first :meth:`swap_snapshot`)."""
+        return self._snapshot_version
+
+    def swap_snapshot(self, snapshot) -> int:
+        """Atomically swap this replica onto a knowledge snapshot.
+
+        ``snapshot`` is a :class:`~repro.refresh.snapshot.KgSnapshot`
+        (duck-typed here so the serving layer stays import-independent
+        of the refresh package).  One step does all three moves: the
+        yearly cache layer is replaced by the snapshot's serving table
+        (cache warm), daily entries tagged with other versions are
+        invalidated, and a version-aware generator (one exposing
+        ``set_snapshot``) is pointed at the new content.  Returns the
+        number of cache entries invalidated.
+        """
+        version = snapshot.manifest.version
+        invalidated = self.cache.install_snapshot(version, snapshot.entries)
+        set_snapshot = getattr(self.generator, "set_snapshot", None)
+        if set_snapshot is not None:
+            set_snapshot(snapshot)
+        previous, self._snapshot_version = self._snapshot_version, version
+        if self.event_log is not None:
+            self.event_log.emit(
+                "service.snapshot_swap", ts=self.clock.now(),
+                component=self.name, version=version,
+                previous=previous or "", invalidated=invalidated,
+            )
+        return invalidated
 
     @property
     def resilient(self) -> bool:
@@ -332,29 +364,6 @@ class CosmoService:
         if last is not None:
             return last, SOURCE_LAST_GOOD
         return None, SOURCE_FALLBACK
-
-    def handle_request(self, query: str) -> str:
-        """Deprecated string shim: ``serve(ServeRequest(query)).text``.
-
-        Kept so pre-structured-API callers keep working; new code should
-        call :meth:`serve` and read the :class:`ServeResult` envelope.
-        """
-        warnings.warn(
-            "CosmoService.handle_request is deprecated; call "
-            "serve(ServeRequest(query=...)) and read ServeResult.text",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.serve(ServeRequest(query=query)).text
-
-    def handle_request_direct(self, query: str) -> str:
-        """Deprecated string shim over ``serve`` in direct mode."""
-        warnings.warn(
-            "CosmoService.handle_request_direct is deprecated; call "
-            "serve(ServeRequest(query=..., direct=True)) and read "
-            "ServeResult.text",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.serve(ServeRequest(query=query, direct=True)).text
 
     def _serve_direct(self, query: str) -> ServeResult:
         """Bypass the cache and call the model synchronously.
@@ -478,6 +487,16 @@ class CosmoService:
             DeadLetter(query=query, day=self.clock.day, attempts=attempts, reason=reason)
         )
         self.metrics.dead_lettered += 1
+
+    def redrive_dead_letters(self) -> int:
+        """Retry the dead-letter queue immediately.
+
+        :meth:`daily_refresh` re-drives at end of day as usual; the
+        rollout controller calls this directly after a rollback so
+        queries dead-lettered against a bad snapshot heal on the
+        restored one instead of waiting for the day boundary.
+        """
+        return self._redrive_dead_letters()
 
     def _redrive_dead_letters(self) -> int:
         """Retry every dead-lettered query once more; successes install,

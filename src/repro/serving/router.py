@@ -107,6 +107,10 @@ class ConsistentHashRouter:
         ring neighbor, all other assignments are untouched."""
         self._require(replica)
         if replica in self._drained:
+            # Double-drain is a no-op, not an error — rollout loops may
+            # retry a step — but it is *reported* so operators can see
+            # the redundant call in the event stream.
+            self._emit("router.drain_noop", replica)
             return
         if len(self._drained) + 1 >= len(self._replicas):
             raise ValueError("cannot drain the last active replica")
@@ -117,6 +121,9 @@ class ConsistentHashRouter:
         """Return a drained replica to rotation (its old keys come back)."""
         self._require(replica)
         if replica not in self._drained:
+            # Restoring a never-drained (or already-restored) replica is
+            # a warned no-op for the same reason double-drain is.
+            self._emit("router.restore_noop", replica)
             return
         self._drained.discard(replica)
         self._emit("router.restore", replica)

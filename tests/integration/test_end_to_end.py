@@ -11,7 +11,11 @@ from repro.behavior import WorldConfig
 from repro.core import CosmoLMConfig, CosmoPipeline, PipelineConfig
 from repro.core.cosmo_lm import CosmoLM
 from repro.core.relations import parse_predicate
-from repro.serving import CosmoService
+from repro.serving import CosmoService, ServeRequest
+
+
+def _handle(service, query):
+    return service.serve(ServeRequest(query=query)).text
 
 
 @pytest.fixture(scope="module")
@@ -89,9 +93,9 @@ def test_serving_cosmo_lm_end_to_end(full_result):
                                    product_type=product.product_type)
 
     service = CosmoService(lm, prompt_builder=prompt_builder)
-    assert service.handle_request(query.text) == ""
+    assert _handle(service, query.text) == ""
     service.run_batch()
-    response = service.handle_request(query.text)
+    response = _handle(service, query.text)
     assert response  # now cached
     assert service.cache.stats.hit_rate > 0
     record = service.features.get(query.text)

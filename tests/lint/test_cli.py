@@ -70,6 +70,7 @@ def test_list_rules_names_the_contract_set(capsys):
         "float-equality",
         "mutable-default",
         "overbroad-except",
+        "snapshot-builder-only",
         "unscoped-rng",
         "wall-clock",
     ]

@@ -64,6 +64,13 @@ def fixture_package(tmp_path):
         def exported():
             return 1
         """)
+    module(pkg / "snapmod.py", """
+        __all__ = ["forge"]
+        from repro.refresh import KgSnapshot
+
+        def forge(manifest):
+            return KgSnapshot(manifest, {}, ())
+        """)
     module(serving / "printer.py", """
         __all__ = ["announce"]
 
@@ -78,7 +85,7 @@ def test_json_reporter_exact_payload(fixture_package):
     payload = json.loads(format_json(result))
 
     assert payload["version"] == REPORT_VERSION
-    assert payload["files_checked"] == 9
+    assert payload["files_checked"] == 10
     assert payload["suppressed"] == 0
     assert payload["diagnostics"] == [
         {
@@ -149,6 +156,18 @@ def test_json_reporter_exact_payload(fixture_package):
                 "log; emit via obs.events.EventLog so alerts can correlate it"
             ),
         },
+        {
+            "rule": "snapshot-builder-only",
+            "path": str(fixture_package / "snapmod.py"),
+            "line": 5,
+            "col": 12,
+            "message": (
+                "direct KgSnapshot construction bypasses the content-"
+                "addressed builder; create snapshots with "
+                "repro.refresh.build_snapshot so the version id stays a "
+                "trustworthy checksum"
+            ),
+        },
     ]
 
 
@@ -164,7 +183,7 @@ def test_text_reporter_lines_and_summary(fixture_package):
     result = lint_paths([fixture_package])
     text = format_text(result)
     lines = text.splitlines()
-    assert lines[-1] == "7 problems in 9 files (0 suppressed)"
+    assert lines[-1] == "8 problems in 10 files (0 suppressed)"
     assert f"{fixture_package / 'allmod.py'}:1:1: [all-consistency] " in lines[0]
     assert all(":" in line for line in lines[:-1])
 

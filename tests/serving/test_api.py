@@ -1,4 +1,4 @@
-"""Structured serving API: envelope contents, shims, generator protocol."""
+"""Structured serving API: envelope contents, removed shims, generator protocol."""
 
 from repro.llm import KnowledgeGenerator, StudentLM, Tokenizer
 from repro.serving import (
@@ -85,45 +85,18 @@ def test_serve_without_enqueue_skips_the_pending_queue():
     assert service.metrics.requests == 1
 
 
-# -- deprecated shims ------------------------------------------------------
-def test_handle_request_shims_match_serve_text():
-    service = _service()
-    service.cache.preload_yearly({"hot": "hot answer."})
-    assert service.handle_request("hot") == "hot answer."
-    assert service.handle_request("cold") == "(down)"
-
-    shim = _service()
-    shim.cache.preload_yearly({"hot": "hot answer."})
-    direct = shim.handle_request_direct("q")
-    assert direct == "it is used for q."
-    assert shim.metrics.served_fresh == 1
+# -- removed shims (tombstone) ---------------------------------------------
+def test_string_shims_are_gone():
+    """The deprecated ``handle_request``/``handle_request_direct`` string
+    shims were removed after a full deprecation cycle; ``serve()`` with a
+    :class:`ServeRequest` is the only entry point."""
+    assert not hasattr(CosmoService, "handle_request")
+    assert not hasattr(CosmoService, "handle_request_direct")
 
 
-def test_shim_and_serve_account_identically():
-    via_shim = _service()
-    via_serve = _service()
-    for query in ["a", "b", "a"]:
-        via_shim.handle_request(query)
-        via_serve.serve(ServeRequest(query=query))
-    assert via_shim.metrics.requests == via_serve.metrics.requests
-    assert via_shim.metrics.fallbacks == via_serve.metrics.fallbacks
-    assert via_shim.clock.now() == via_serve.clock.now()
-
-
-def test_shims_emit_deprecation_warnings():
-    import pytest
-
-    service = _service()
-    with pytest.deprecated_call(match="serve\\(ServeRequest"):
-        service.handle_request("q")
-    with pytest.deprecated_call(match="direct=True"):
-        service.handle_request_direct("q")
-
-
-def test_no_in_repo_caller_still_uses_the_shims():
-    """src/, benchmarks/, and examples/ are fully migrated to serve();
-    the string shims exist only for external callers (and the shim tests
-    above)."""
+def test_no_in_repo_caller_resurrects_the_shims():
+    """No code under src/, benchmarks/, examples/, or tests/ calls the
+    removed string shims; everything goes through serve()."""
     import ast
     from pathlib import Path
 
@@ -132,7 +105,7 @@ def test_no_in_repo_caller_still_uses_the_shims():
     repo_root = Path(repro.__file__).resolve().parents[2]
     shimmed = {"handle_request", "handle_request_direct"}
     offenders = []
-    for tree_root in ("src", "benchmarks", "examples"):
+    for tree_root in ("src", "benchmarks", "examples", "tests"):
         for path in sorted((repo_root / tree_root).rglob("*.py")):
             tree = ast.parse(path.read_text(), filename=str(path))
             for node in ast.walk(tree):

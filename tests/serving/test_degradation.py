@@ -12,8 +12,17 @@ from repro.serving import (
     FaultPlan,
     FlakyGenerator,
     RetryPolicy,
+    ServeRequest,
     SimClock,
 )
+
+
+def _handle(service, query):
+    return service.serve(ServeRequest(query=query)).text
+
+
+def _direct(service, query):
+    return service.serve(ServeRequest(query=query, direct=True)).text
 
 
 class Scripted:
@@ -42,41 +51,41 @@ def _service(plan=None, seed=0, **kwargs):
 # -- degradation chain -----------------------------------------------------
 def test_degradation_chain_feature_store_then_fallback():
     service, _ = _service()
-    assert service.handle_request("q") == "(down)"  # nothing known yet
+    assert _handle(service, "q") == "(down)"  # nothing known yet
     assert service.metrics.fallbacks == 1
     service.run_batch()
-    assert service.handle_request("q") == "it is used for q."
+    assert _handle(service, "q") == "it is used for q."
     assert service.metrics.served_fresh == 1
     service.clock.advance_days(1)  # daily layer expires; features survive
-    assert service.handle_request("q") == "it is used for q."
+    assert _handle(service, "q") == "it is used for q."
     assert service.metrics.degraded_serves == 1
 
 
 def test_degradation_uses_last_known_good_without_feature_record():
     service, _ = _service()
-    service.handle_request("q")
+    _handle(service, "q")
     service.run_batch()
     # Simulate a lost feature record; the last-good map still covers it.
     service.features._records.clear()
     service.clock.advance_days(1)
-    assert service.handle_request("q") == "it is used for q."
+    assert _handle(service, "q") == "it is used for q."
     assert service.metrics.degraded_serves == 1
 
 
 def test_resilience_off_restores_legacy_fallback_behavior():
     service, _ = _service(resilience=False)
-    service.handle_request("q")
+    _handle(service, "q")
     service.run_batch()
     service.clock.advance_days(1)
-    assert service.handle_request("q") == "(down)"  # no degraded serving
+    assert _handle(service, "q") == "(down)"  # no degraded serving
     assert service.metrics.degraded_serves == 0
 
 
 def test_direct_request_degrades_on_failure():
     service, injector = _service()
-    assert service.handle_request_direct("q") == "it is used for q."
+    assert _direct(service, "q") == "it is used for q."
     injector.plan = FaultPlan(error_rate=1.0)
-    response = service.handle_request_direct("q")
+    response = _direct(service, "q")
     assert response == "it is used for q."  # last known good
     assert service.metrics.degraded_serves == 1
     assert service.metrics.generator_failures >= 1
@@ -85,7 +94,7 @@ def test_direct_request_degrades_on_failure():
 def test_direct_request_without_resilience_falls_back():
     service, injector = _service(resilience=False)
     injector.plan = FaultPlan(error_rate=1.0)
-    assert service.handle_request_direct("q") == "(down)"
+    assert _direct(service, "q") == "(down)"
     assert service.metrics.fallbacks == 1
 
 
@@ -96,8 +105,8 @@ def test_exhausted_retries_dead_letter_and_daily_refresh_redrives():
         breaker=CircuitBreaker(SimClock(), min_calls=100),  # effectively off
     )
     injector.plan = FaultPlan(error_rate=1.0)
-    service.handle_request("q1")
-    service.handle_request("q2")
+    _handle(service, "q1")
+    _handle(service, "q2")
     assert service.run_batch() == 0
     assert service.metrics.dead_lettered == 2
     assert [letter.query for letter in service.dead_letters] == ["q1", "q2"]
@@ -107,7 +116,7 @@ def test_exhausted_retries_dead_letter_and_daily_refresh_redrives():
     report = service.daily_refresh(refresh_stale=False)
     assert report["redriven"] == 2
     assert not service.dead_letters
-    assert service.handle_request("q1") == "it is used for q1."
+    assert _handle(service, "q1") == "it is used for q1."
 
 
 def test_redrive_failure_requeues_with_bumped_attempts():
@@ -116,7 +125,7 @@ def test_redrive_failure_requeues_with_bumped_attempts():
         breaker=CircuitBreaker(SimClock(), min_calls=100),
     )
     injector.plan = FaultPlan(error_rate=1.0)
-    service.handle_request("q")
+    _handle(service, "q")
     service.run_batch()
     first_attempts = service.dead_letters[0].attempts
     service.daily_refresh(refresh_stale=False)  # still failing
@@ -129,7 +138,7 @@ def test_breaker_refusal_leaves_queries_pending():
     breaker.record_failure()
     breaker.record_failure()
     service, _ = _service(breaker=breaker)
-    service.handle_request("q")
+    _handle(service, "q")
     assert service.run_batch() == 0
     assert service.metrics.breaker_refusals == 1
     assert service.metrics.dead_lettered == 0
@@ -184,7 +193,7 @@ def test_availability_accounting_consistent_under_random_faults(ops, resilient, 
     requests = 0
     for kind, arg in ops:
         if kind == "request":
-            service.handle_request(arg)
+            _handle(service, arg)
             requests += 1
         elif kind == "batch":
             service.run_batch()

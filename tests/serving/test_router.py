@@ -103,3 +103,49 @@ def test_preference_skips_drained_but_keeps_relative_order():
     for key, order in full.items():
         expected = [r for r in order if r != "r2"]
         assert router.preference(key) == expected
+
+
+# -- idempotent drain/restore (warned no-ops) ------------------------------
+def _logged_router(n=3):
+    from repro.obs import EventLog
+
+    log = EventLog()
+    clock = iter(float(i) for i in range(1000))
+    router = ConsistentHashRouter(_replica_ids(n))
+    router.attach_event_log(log, lambda: next(clock), component="test")
+    return router, log
+
+
+def test_double_drain_is_a_warned_noop():
+    router, log = _logged_router()
+    router.drain("r0")
+    assignments = {key: router.route(key) for key in KEYS[:50]}
+    router.drain("r0")  # rollout loops may retry a step
+    assert router.is_drained("r0")
+    assert {key: router.route(key) for key in KEYS[:50]} == assignments
+    kinds = [e.kind for e in log.events()]
+    assert kinds == ["router.drain", "router.drain_noop"]
+    assert log.events()[-1].attrs["replica"] == "r0"
+
+
+def test_restore_of_never_drained_replica_is_a_warned_noop():
+    router, log = _logged_router()
+    router.restore("r1")
+    assert not router.is_drained("r1")
+    assert [e.kind for e in log.events()] == ["router.restore_noop"]
+
+
+def test_double_restore_warns_on_the_second_call():
+    router, log = _logged_router()
+    router.drain("r2")
+    router.restore("r2")
+    router.restore("r2")
+    kinds = [e.kind for e in log.events()]
+    assert kinds == ["router.drain", "router.restore", "router.restore_noop"]
+
+
+def test_noop_events_still_require_a_known_replica():
+    router, log = _logged_router()
+    with pytest.raises(KeyError):
+        router.restore("ghost")
+    assert log.events() == []

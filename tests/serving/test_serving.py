@@ -4,7 +4,21 @@ import numpy as np
 import pytest
 
 from repro.llm.interface import Generation, LatencyModel
-from repro.serving import AsyncCacheStore, CosmoService, FeatureStore, SimClock
+from repro.serving import (
+    AsyncCacheStore,
+    CosmoService,
+    FeatureStore,
+    ServeRequest,
+    SimClock,
+)
+
+
+def _handle(service, query):
+    return service.serve(ServeRequest(query=query)).text
+
+
+def _direct(service, query):
+    return service.serve(ServeRequest(query=query, direct=True)).text
 
 
 class FakeGenerator:
@@ -119,23 +133,23 @@ def test_feature_store_staleness():
 def test_request_miss_then_batch_then_hit():
     generator = FakeGenerator()
     service = CosmoService(generator, fallback_response="(no knowledge yet)")
-    first = service.handle_request("camping tent")
+    first = _handle(service, "camping tent")
     assert first == "(no knowledge yet)"
     assert service.metrics.fallbacks == 1
     installed = service.run_batch()
     assert installed == 1
     assert len(service.features) == 1
-    second = service.handle_request("camping tent")
+    second = _handle(service, "camping tent")
     assert "camping tent" in second
 
 
 def test_cached_latency_far_below_direct():
     generator = FakeGenerator()
     service = CosmoService(generator)
-    direct = service.handle_request_direct("q1")
+    direct = _direct(service, "q1")
     assert direct
     service.run_batch()
-    service.handle_request("q1")
+    _handle(service, "q1")
     # The direct call dominates the latency distribution's max; the cache
     # lookup sits at its min.
     direct_latency = service.metrics.latency.max
@@ -147,7 +161,7 @@ def test_daily_refresh_promotes_and_refreshes():
     generator = FakeGenerator()
     service = CosmoService(generator)
     for _ in range(12):
-        service.handle_request("hot")
+        _handle(service, "hot")
     service.run_batch()
     service.clock.advance_days(2)  # make the feature stale
     report = service.daily_refresh()
@@ -159,7 +173,7 @@ def test_percentiles_monotone():
     generator = FakeGenerator()
     service = CosmoService(generator)
     for i in range(20):
-        service.handle_request(f"q{i}")
+        _handle(service, f"q{i}")
     assert service.metrics.p50 <= service.metrics.p99
 
 
@@ -203,7 +217,7 @@ def test_feedback_loop_finetunes_cosmo_classifier():
 def test_run_batch_respects_max_queries():
     service = CosmoService(FakeGenerator())
     for i in range(10):
-        service.handle_request(f"q{i}")
+        _handle(service, f"q{i}")
     installed = service.run_batch(max_queries=4)
     assert installed == 4
     assert len(service.cache.pending_queries()) == 6
@@ -228,15 +242,15 @@ def test_flash_sale_staleness_mechanism():
 
     generator = Stateful()
     service = CosmoService(generator)
-    service.handle_request("deal")
+    _handle(service, "deal")
     service.run_batch()
     generator.mode = "after"  # the world changed
-    assert "before" in service.handle_request("deal")  # stale until refresh
+    assert "before" in _handle(service, "deal")  # stale until refresh
     service.clock.advance_days(1)
     # Daily layer cleared: a cache miss now serves the stale feature-store
     # entry (degraded) instead of failing outright.
-    degraded = service.handle_request("deal")
+    degraded = _handle(service, "deal")
     assert "before" in degraded
     assert service.metrics.degraded_serves == 1
     service.run_batch()
-    assert "after" in service.handle_request("deal")
+    assert "after" in _handle(service, "deal")

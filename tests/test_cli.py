@@ -198,3 +198,80 @@ def test_lint_subcommand_delegates_to_cosmolint(tmp_path, capsys):
     clean = tmp_path / "clean.py"
     clean.write_text("x = 1\n")
     assert main(["lint", str(clean)]) == 0
+
+
+def test_rollout_healthy_completes_and_is_deterministic(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_alert_report, validate_events, validate_timeline
+
+    def run(tag):
+        timeline = tmp_path / f"timeline-{tag}.json"
+        alerts = tmp_path / f"alerts-{tag}.json"
+        events = tmp_path / f"events-{tag}.jsonl"
+        code = main([
+            "rollout", "--seed", "0", "--scenario", "healthy",
+            "--out-timeline", str(timeline), "--out-alerts", str(alerts),
+            "--out-events", str(events),
+        ])
+        assert code == 0
+        return timeline.read_bytes(), alerts.read_bytes(), events.read_bytes()
+
+    first = run("a")
+    second = run("b")
+    # Simulated clocks end to end: artifacts are byte-stable.
+    assert first == second
+
+    validate_timeline(json.loads(first[0]))
+    report = json.loads(first[1])
+    validate_alert_report(report)
+    assert report["fired"] is False
+
+    events = validate_events(first[2].decode())
+    kinds = [e["kind"] for e in events]
+    assert "rollout.start" in kinds
+    assert "rollout.complete" in kinds
+    assert "rollout.rollback_start" not in kinds
+    # One atomic swap per replica (default --replicas 3).
+    assert kinds.count("rollout.swap") == 3
+    out = capsys.readouterr().out
+    assert "Rollout state" in out and "complete" in out
+    assert "request accounting" in out and "OK" in out
+    assert "no alerts fired" in out
+
+
+def test_rollout_poisoned_rolls_back_and_redrives(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_events
+
+    timeline = tmp_path / "timeline.json"
+    alerts = tmp_path / "alerts.json"
+    events_path = tmp_path / "events.jsonl"
+    code = main([
+        "rollout", "--seed", "0", "--scenario", "poisoned",
+        "--out-timeline", str(timeline), "--out-alerts", str(alerts),
+        "--out-events", str(events_path),
+    ])
+    # Accounting holds and nothing mixed-version leaked, so the exit is
+    # clean even though the rollout aborted: the guard doing its job is
+    # not an operator error.
+    assert code == 0
+
+    events = validate_events(events_path.read_text())
+    kinds = [e["kind"] for e in events]
+    assert "rollout.rollback_start" in kinds
+    assert "rollout.rollback_complete" in kinds
+    assert "rollout.complete" not in kinds
+    assert "service.redrive" in kinds
+    start = next(e for e in events if e["kind"] == "rollout.rollback_start")
+    assert start["attrs"]["objective"] in ("availability", "latency-p99")
+
+    # The rollback lands while the alert is still pending, so nothing
+    # ever fires: the guard acted before the page would have gone out.
+    report = json.loads(alerts.read_text())
+    assert report["fired"] is False
+    out = capsys.readouterr().out
+    assert "rolled_back" in out
+    assert "rollback: objective" in out
+    assert "request accounting" in out and "OK" in out
