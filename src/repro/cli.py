@@ -730,6 +730,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
     argv = list(args.paths)
     if args.format != "text":
         argv += ["--format", args.format]
+    if args.fix:
+        argv.append("--fix")
+    if args.no_cache:
+        argv.append("--no-cache")
+    elif args.cache is not None:
+        argv += ["--cache", args.cache]
+    if args.cache_stats:
+        argv.append("--cache-stats")
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    elif args.baseline is not None:
+        argv += ["--baseline", args.baseline]
     return lint_main(argv)
 
 
@@ -878,7 +890,19 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run cosmolint, the repo's static invariant checker")
     lint.add_argument("paths", nargs="*", default=["src", "benchmarks", "examples"],
                       help="files or directories to lint")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"), default="text")
+    lint.add_argument("--fix", action="store_true",
+                      help="apply safe autofixes before linting")
+    lint.add_argument("--cache", metavar="PATH", default=None,
+                      help="analysis cache file (default .cosmolint-cache.json)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the incremental analysis cache")
+    lint.add_argument("--cache-stats", action="store_true",
+                      help="print cache hit/miss counts to stderr")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="baseline file of accepted findings")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
     lint.set_defaults(func=cmd_lint)
     return parser
 

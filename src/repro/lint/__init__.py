@@ -1,23 +1,45 @@
-"""cosmolint — AST-based invariant checks for the COSMO reproduction.
+"""cosmolint — whole-program static analysis for the COSMO reproduction.
 
-A small static-analysis pass over the repo's own source enforcing the
-contracts the reproduction's numbers depend on: every random stream is
-derived through ``spawn_rng(seed, scope)``, the serving layer runs on
-``SimClock`` simulated time, and a handful of general hygiene rules
-(mutable defaults, overbroad excepts, float equality in metrics,
-``__all__`` consistency).  See DESIGN.md, section "Static invariants".
+A two-phase analysis over the repo's own source enforcing the contracts
+the reproduction's numbers depend on.  Phase one runs file-scope AST
+rules (unscoped RNG, wall clock, mutable defaults, overbroad excepts,
+float equality, ``__all__`` consistency, event-log-only serving,
+builder-only snapshots); phase two assembles per-module summaries into
+an import graph + symbol table and runs the cross-module rules:
+declared-architecture layering, import-cycle detection, and the
+dataflow contracts (RNG provenance, clock injection, registry
+injection).  See DESIGN.md, section "Static invariants".
 
-Run it with ``python -m repro.lint src benchmarks examples`` or
-``python -m repro.cli lint``; suppress a finding in place with
-``# cosmolint: disable=rule-id``.
+Unchanged files are replayed from a content-hash cache
+(``.cosmolint-cache.json``), accepted diagnostics live in a checked-in
+``lint-baseline.json``, reporters emit text, JSON or SARIF 2.1.0, and
+``--fix`` applies mechanical repairs for the autofixable rules.
+
+Run it with ``python -m repro.lint src benchmarks examples``,
+``python -m repro.cli lint`` or the ``cosmolint`` console script;
+suppress a finding in place with ``# cosmolint: disable=rule-id``.
 """
 
+from repro.lint.autofix import fix_paths, fix_source
+from repro.lint.baseline import Baseline
+from repro.lint.cache import AnalysisCache
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.engine import LintResult, iter_python_files, lint_paths, lint_source
-from repro.lint.registry import FileContext, LintRule, all_rules, register, rule_ids
+from repro.lint.project import ModuleSummary, ProjectContext, extract_summary
+from repro.lint.registry import (
+    FileContext,
+    LintRule,
+    ProjectRule,
+    all_rules,
+    register,
+    rule_ids,
+)
 from repro.lint.reporters import format_json, format_text
+from repro.lint.sarif import format_sarif, validate_sarif
 
 __all__ = [
+    "AnalysisCache",
+    "Baseline",
     "Diagnostic",
     "LintResult",
     "iter_python_files",
@@ -25,9 +47,17 @@ __all__ = [
     "lint_source",
     "FileContext",
     "LintRule",
+    "ProjectRule",
+    "ModuleSummary",
+    "ProjectContext",
+    "extract_summary",
     "all_rules",
     "register",
     "rule_ids",
+    "fix_paths",
+    "fix_source",
     "format_json",
     "format_text",
+    "format_sarif",
+    "validate_sarif",
 ]

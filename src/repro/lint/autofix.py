@@ -1,0 +1,283 @@
+"""Mechanical autofixes (``--fix``) for the fixable rules.
+
+Two rules are autofixable, and both fixes are semantics-preserving
+rewrites at known-safe sites:
+
+* ``mutable-default`` — ``def f(x=[])`` becomes ``def f(x=None)`` with an
+  ``if x is None: x = []`` guard inserted after the docstring (the
+  idiomatic repair, preserving the observable signature while unsharing
+  the default).  Annotated parameters get ``| None`` widened in.
+* ``float-equality`` — ``a == 0.5`` becomes ``math.isclose(a, 0.5)`` and
+  ``a != 0.5`` becomes ``not math.isclose(a, 0.5)``, adding ``import
+  math`` when the module lacks one.
+
+Fixes honor suppression comments (a suppressed finding is never
+rewritten), skip sites a textual rewrite cannot handle safely
+(multi-line spans, chained comparisons, lambdas, same-line function
+bodies), and iterate to a fixed point internally — so running ``--fix``
+twice is guaranteed to be a no-op the second time (idempotence is
+pinned by tests).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.engine import iter_python_files
+from repro.lint.project import ImportMap
+from repro.lint.registry import FileContext
+from repro.lint.rules import FloatEqualityRule, MutableDefaultRule
+from repro.lint.suppressions import parse_suppressions
+
+__all__ = ["FIXABLE_RULES", "FixReport", "fix_source", "fix_paths"]
+
+#: Rule ids ``--fix`` can repair (rules marked ``autofixable``).
+FIXABLE_RULES = ("float-equality", "mutable-default")
+
+_MAX_PASSES = 10
+
+
+@dataclass
+class FixReport:
+    """Outcome of one ``--fix`` sweep."""
+
+    files_changed: int = 0
+    fixes: int = 0
+    changed_paths: list[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# edit plumbing: single-line span replacements + whole-line insertions,
+# both expressed in *original* coordinates and applied bottom-up.
+
+_Replacement = tuple[int, int, int, str]  # (line0, col_start, col_end, text)
+_Insertion = tuple[int, str]  # (line0 to insert before, text incl. newline)
+
+
+def _apply_edits(source: str, replacements: list[_Replacement],
+                 insertions: list[_Insertion]) -> str:
+    lines = source.splitlines(keepends=True)
+    for line0, col_start, col_end, text in sorted(replacements, reverse=True):
+        line = lines[line0]
+        lines[line0] = line[:col_start] + text + line[col_end:]
+    for line0, text in sorted(insertions, key=lambda item: item[0], reverse=True):
+        lines.insert(line0, text)
+    return "".join(lines)
+
+
+def _single_line(node: ast.AST) -> bool:
+    end = getattr(node, "end_lineno", None)
+    return end is not None and end == getattr(node, "lineno", None)
+
+
+# ---------------------------------------------------------------------------
+# mutable-default
+
+
+def _is_fixable_mutable(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in MutableDefaultRule._MUTABLE_CALLS
+    )
+
+
+def _guard_anchor(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[int, str] | None:
+    """(1-based line to insert before, indent) for the None-guards."""
+    body = node.body
+    first = body[0]
+    is_docstring = (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+    )
+    if is_docstring:
+        if len(body) > 1:
+            anchor = body[1]
+            return anchor.lineno, " " * anchor.col_offset
+        if first.end_lineno is not None and first.lineno > node.lineno:
+            return first.end_lineno + 1, " " * first.col_offset
+        return None  # docstring-only body on the def line
+    if first.lineno > node.lineno:
+        return first.lineno, " " * first.col_offset
+    return None  # body on the def line: a textual guard cannot be inserted
+
+
+def _defaults_with_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[ast.arg, ast.expr]]:
+    pairs: list[tuple[ast.arg, ast.expr]] = []
+    positional = [*node.args.posonlyargs, *node.args.args]
+    defaults = node.args.defaults
+    for arg, default in zip(positional[len(positional) - len(defaults):], defaults):
+        pairs.append((arg, default))
+    for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+        if default is not None:
+            pairs.append((arg, default))
+    return pairs
+
+
+def _fix_mutable_defaults(source: str, tree: ast.Module, suppressions,
+                          replacements: list[_Replacement],
+                          insertions: list[_Insertion]) -> int:
+    fixes = 0
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        anchor = _guard_anchor(node)
+        if anchor is None:
+            continue
+        insert_line, indent = anchor
+        guards: list[str] = []
+        for arg, default in _defaults_with_params(node):
+            if not _is_fixable_mutable(default) or not _single_line(default):
+                continue
+            if suppressions.is_suppressed("mutable-default", default.lineno):
+                continue
+            default_text = ast.get_source_segment(source, default)
+            if default_text is None:
+                continue
+            replacements.append(
+                (default.lineno - 1, default.col_offset, default.end_col_offset, "None"))
+            annotation = arg.annotation
+            if annotation is not None and _single_line(annotation):
+                annotation_text = ast.get_source_segment(source, annotation)
+                if (annotation_text is not None
+                        and "None" not in annotation_text
+                        and not annotation_text.startswith("Optional")):
+                    replacements.append(
+                        (annotation.lineno - 1, annotation.col_offset,
+                         annotation.end_col_offset, f"{annotation_text} | None"))
+            guards.append(f"{indent}if {arg.arg} is None:\n"
+                          f"{indent}    {arg.arg} = {default_text}\n")
+            fixes += 1
+        if guards:
+            insertions.append((insert_line - 1, "".join(guards)))
+    return fixes
+
+
+# ---------------------------------------------------------------------------
+# float-equality
+
+
+def _fix_float_equality(source: str, tree: ast.Module, suppressions,
+                        replacements: list[_Replacement],
+                        insertions: list[_Insertion]) -> int:
+    imports = ImportMap(tree)
+    math_alias = None
+    for bound, target in imports.aliases.items():
+        if target == "math":
+            math_alias = bound
+            break
+
+    fixes = 0
+    fixed_spans: list[tuple[int, int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            continue
+        if not _single_line(node):
+            continue
+        operands = [node.left, node.comparators[0]]
+        if not any(isinstance(operand, ast.Constant) and isinstance(operand.value, float)
+                   for operand in operands):
+            continue
+        if suppressions.is_suppressed("float-equality", node.comparators[0].lineno):
+            continue
+        span = (node.lineno - 1, node.col_offset, node.end_col_offset)
+        # An outer comparison swallowing an inner one would corrupt the
+        # inner edit; skip overlapping spans (the fixpoint loop in
+        # fix_source picks stragglers up on the next pass).
+        if any(line == span[0] and not (span[2] <= start or end <= span[1])
+               for line, start, end in fixed_spans):
+            continue
+        left_text = ast.get_source_segment(source, node.left)
+        right_text = ast.get_source_segment(source, node.comparators[0])
+        if left_text is None or right_text is None:
+            continue
+        prefix = "not " if isinstance(node.ops[0], ast.NotEq) else ""
+        module = math_alias or "math"
+        replacements.append(
+            (span[0], span[1], span[2],
+             f"{prefix}{module}.isclose({left_text}, {right_text})"))
+        fixed_spans.append(span)
+        fixes += 1
+
+    if fixes and math_alias is None:
+        insertions.append((_import_insert_line(tree) - 1, "import math\n"))
+    return fixes
+
+
+def _import_insert_line(tree: ast.Module) -> int:
+    """1-based line to insert ``import math`` before."""
+    for node in tree.body:
+        if (isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)):
+            continue  # module docstring
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            continue
+        return node.lineno
+    last = tree.body[-1] if tree.body else None
+    return (last.end_lineno or last.lineno) + 1 if last is not None else 1
+
+
+# ---------------------------------------------------------------------------
+# entry points
+
+
+def fix_source(
+    source: str,
+    display_path: str = "<string>",
+    select: Iterable[str] | None = None,
+) -> tuple[str, int]:
+    """Apply the autofixes to one module's source.
+
+    Returns ``(new_source, fix_count)``; iterates internally until no
+    further fix applies, so a second call over the result is always a
+    no-op.
+    """
+    wanted = set(FIXABLE_RULES if select is None else select) & set(FIXABLE_RULES)
+    context = FileContext(display_path=display_path, source=source,
+                          parts=tuple(Path(display_path).parts))
+    total = 0
+    for _ in range(_MAX_PASSES):
+        try:
+            tree = ast.parse(source, filename=display_path)
+        except SyntaxError:
+            return source, total
+        suppressions = parse_suppressions(source)
+        replacements: list[_Replacement] = []
+        insertions: list[_Insertion] = []
+        fixes = 0
+        if "mutable-default" in wanted:
+            fixes += _fix_mutable_defaults(source, tree, suppressions,
+                                           replacements, insertions)
+        if "float-equality" in wanted and FloatEqualityRule.applies_to(context):
+            fixes += _fix_float_equality(source, tree, suppressions,
+                                         replacements, insertions)
+        if fixes == 0:
+            break
+        source = _apply_edits(source, replacements, insertions)
+        total += fixes
+    return source, total
+
+
+def fix_paths(paths: Iterable[str | Path],
+              select: Iterable[str] | None = None) -> FixReport:
+    """Apply the autofixes in place to every Python file under ``paths``."""
+    report = FixReport()
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        fixed, count = fix_source(source, display_path=str(path), select=select)
+        if count and fixed != source:
+            path.write_text(fixed, encoding="utf-8")
+            report.files_changed += 1
+            report.fixes += count
+            report.changed_paths.append(str(path))
+    return report

@@ -1,0 +1,68 @@
+"""Checked-in baseline of accepted diagnostics.
+
+``lint-baseline.json`` records the *known, deliberately accepted*
+violations of the cross-module contracts (e.g. ``core.pipeline``'s
+sanctioned imports of ``repro.obs``).  Diagnostics matching a baseline
+entry are filtered out of the report (and counted), so the exit code
+only reflects *new* violations — CI fails the moment an unbaselined
+diagnostic appears, while the baseline file itself stays an auditable
+artifact under review like any other source change.
+
+Entries match on ``(rule, path, line)``; an edit that moves a baselined
+import re-surfaces it, forcing a fresh fix-or-rebaseline decision.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """An accepted-diagnostics set loaded from / written to JSON."""
+
+    def __init__(self, entries: set[tuple[str, str, int]] | None = None):
+        self.entries = entries if entries is not None else set()
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: {payload.get('version')!r}"
+            )
+        entries = {
+            (entry["rule"], entry["path"], int(entry["line"]))
+            for entry in payload["entries"]
+        }
+        return cls(entries)
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        return (diagnostic.rule, _posix(diagnostic.path), diagnostic.line) in self.entries
+
+    @staticmethod
+    def write(path: str | Path, diagnostics: list[Diagnostic]) -> int:
+        """Write ``diagnostics`` as the new baseline; returns entry count."""
+        records = sorted(
+            {(_posix(d.path), d.line, d.rule, d.message) for d in diagnostics}
+        )
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"rule": rule, "path": diag_path, "line": line, "message": message}
+                for diag_path, line, rule, message in records
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return len(records)
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")

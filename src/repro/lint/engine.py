@@ -1,9 +1,20 @@
 """The cosmolint engine: collect files, run rules, apply suppressions.
 
+Linting is two-phase.  Phase one runs the file-scope rules over each
+module's AST and extracts a :class:`~repro.lint.project.ModuleSummary`;
+both are cached per content hash, so a warm run replays unchanged files
+without parsing.  Phase two assembles the summaries into a
+:class:`~repro.lint.project.ProjectContext` and runs the project-scope
+rules (layering, cycles, cross-module dataflow contracts) over the whole
+program.  Diagnostics from both phases share one suppression syntax and
+one deterministic sort order, so reports are byte-identical regardless
+of cache state.
+
 The engine is pure — it reads files and returns a :class:`LintResult`;
 reporters render it and the CLI maps it to an exit code.  ``lint_source``
-lints a single in-memory module, which is what the rule tests use (rules
-are exercised against fixture snippets, never the live tree).
+lints a single in-memory module with the file rules, which is what the
+rule tests use (rules are exercised against fixture snippets, never the
+live tree).
 """
 
 from __future__ import annotations
@@ -13,10 +24,26 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.lint.baseline import Baseline
+from repro.lint.cache import AnalysisCache, content_hash
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.registry import FileContext, LintRule, all_rules, make_filter
-from repro.lint.suppressions import parse_suppressions
-from repro.lint import rules as _rules  # noqa: F401  (imports register the rule set)
+from repro.lint.project import (
+    ModuleSummary,
+    ProjectContext,
+    extract_summary,
+    module_name_for,
+)
+from repro.lint.registry import (
+    FileContext,
+    LintRule,
+    ProjectRule,
+    all_rules,
+    make_filter,
+)
+from repro.lint.suppressions import Suppressions, parse_suppressions
+from repro.lint import rules as _rules  # noqa: F401  (imports register the file rules)
+from repro.lint import layers as _layers  # noqa: F401  (registers project rules)
+from repro.lint import dataflow as _dataflow  # noqa: F401  (registers project rules)
 
 __all__ = ["LintResult", "iter_python_files", "lint_source", "lint_paths"]
 
@@ -30,6 +57,9 @@ class LintResult:
     diagnostics: list[Diagnostic] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    baselined: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -39,6 +69,7 @@ class LintResult:
         self.diagnostics.extend(other.diagnostics)
         self.files_checked += other.files_checked
         self.suppressed += other.suppressed
+        self.baselined += other.baselined
 
     def finalize(self) -> "LintResult":
         self.diagnostics.sort(key=Diagnostic.sort_key)
@@ -75,13 +106,14 @@ def _sibling_modules(path: Path) -> tuple[str, ...]:
     return tuple(sorted(names))
 
 
-def _build_context(path: Path, display_path: str, source: str) -> FileContext:
+def _build_context(path: Path, display_path: str, source: str,
+                   sibling_modules: tuple[str, ...]) -> FileContext:
     return FileContext(
         display_path=display_path,
         source=source,
         in_package=(path.parent / "__init__.py").exists(),
         parts=tuple(Path(display_path).parts),
-        sibling_modules=_sibling_modules(path),
+        sibling_modules=sibling_modules,
     )
 
 
@@ -91,20 +123,25 @@ def lint_source(
     in_package: bool = False,
     rule_classes: Iterable[type[LintRule]] | None = None,
 ) -> LintResult:
-    """Lint one in-memory module (the rule-test entry point)."""
+    """Lint one in-memory module with the file rules (rule-test entry point)."""
     context = FileContext(
         display_path=display_path,
         source=source,
         in_package=in_package,
         parts=tuple(Path(display_path).parts),
     )
-    return _lint_context(context, rule_classes).finalize()
+    if rule_classes is None:
+        rule_classes = [cls for cls in all_rules() if cls.scope == "file"]  # type: ignore[misc]
+    result, _tree, _suppressions = _lint_context(context, rule_classes)
+    return result.finalize()
 
 
 def _lint_context(
     context: FileContext,
-    rule_classes: Iterable[type[LintRule]] | None = None,
-) -> LintResult:
+    rule_classes: Iterable[type[LintRule]],
+) -> tuple[LintResult, ast.Module | None, Suppressions | None]:
+    """Run the file rules; also return the parsed tree and suppressions
+    so the caller can extract the module summary from the same parse."""
     result = LintResult(files_checked=1)
     try:
         tree = ast.parse(context.source, filename=context.display_path)
@@ -118,30 +155,96 @@ def _lint_context(
                 message=f"cannot parse module: {error.msg}",
             )
         )
-        return result
+        return result, None, None
     suppressions = parse_suppressions(context.source)
-    for rule_class in rule_classes if rule_classes is not None else all_rules():
-        if not rule_class.applies_to(context):
+    for rule_class in rule_classes:
+        if rule_class.scope != "file" or not rule_class.applies_to(context):
             continue
         for diagnostic in rule_class(context).check(tree):
             if suppressions.is_suppressed(diagnostic.rule, diagnostic.line):
                 result.suppressed += 1
             else:
                 result.diagnostics.append(diagnostic)
-    return result
+    return result, tree, suppressions
+
+
+def _summarize(tree: ast.Module | None, path: Path, display_path: str,
+               suppressions: Suppressions | None) -> ModuleSummary:
+    module = module_name_for(path)
+    if tree is None:  # syntax error: an empty summary keeps phase two total
+        return ModuleSummary(module=module, path=display_path)
+    suppress_file: tuple[str, ...] = ()
+    suppress_lines: dict[int, tuple[str, ...]] = {}
+    if suppressions is not None:
+        suppress_file = tuple(sorted(suppressions.file_wide))
+        suppress_lines = {line: tuple(sorted(rules))
+                          for line, rules in suppressions.by_line.items()}
+    return extract_summary(tree, module, display_path, suppress_file, suppress_lines)
 
 
 def lint_paths(
     paths: Iterable[str | Path],
     select: set[str] | None = None,
     ignore: set[str] | None = None,
+    *,
+    cache: AnalysisCache | None = None,
+    baseline: Baseline | None = None,
 ) -> LintResult:
-    """Lint every Python file under ``paths`` with the registered rules."""
+    """Lint every Python file under ``paths`` with both rule phases."""
     keep = make_filter(select, ignore)
-    rule_classes = [rule_class for rule_class in all_rules() if keep(rule_class)]
+    file_rule_classes = [cls for cls in all_rules()
+                         if cls.scope == "file" and keep(cls)]
+    project_rule_classes: list[type[ProjectRule]] = [
+        cls for cls in all_rules()  # type: ignore[misc]
+        if cls.scope == "project" and keep(cls)
+    ]
     result = LintResult()
+    summaries: list[ModuleSummary] = []
+
+    # Phase one: per-file rules + summary extraction (cache-replayable).
     for path in iter_python_files(paths):
+        display_path = str(path)
         source = path.read_text(encoding="utf-8")
-        context = _build_context(path, str(path), source)
-        result.extend(_lint_context(context, rule_classes))
+        siblings = _sibling_modules(path)
+        file_hash = content_hash(source, siblings)
+        cached = cache.lookup(display_path, file_hash) if cache is not None else None
+        if cached is not None:
+            diagnostics, suppressed, summary = cached
+            file_result = LintResult(
+                diagnostics=list(diagnostics), files_checked=1, suppressed=suppressed
+            )
+        else:
+            context = _build_context(path, display_path, source, siblings)
+            file_result, tree, suppressions = _lint_context(context, file_rule_classes)
+            summary = _summarize(tree, path, display_path, suppressions)
+            if cache is not None:
+                cache.store(display_path, file_hash, file_result.diagnostics,
+                            file_result.suppressed, summary)
+        result.extend(file_result)
+        summaries.append(summary)
+
+    # Phase two: whole-program rules over the assembled summaries.
+    project = ProjectContext(summaries)
+    for project_rule_class in project_rule_classes:
+        for diagnostic in project_rule_class().check(project):
+            summary = project.by_path.get(diagnostic.path)
+            if summary is not None and summary.is_suppressed(diagnostic.rule,
+                                                             diagnostic.line):
+                result.suppressed += 1
+            else:
+                result.diagnostics.append(diagnostic)
+
+    if baseline is not None:
+        fresh = []
+        for diagnostic in result.diagnostics:
+            if baseline.matches(diagnostic):
+                result.baselined += 1
+            else:
+                fresh.append(diagnostic)
+        result.diagnostics = fresh
+
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+        cache.save()
     return result.finalize()

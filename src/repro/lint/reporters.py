@@ -1,4 +1,10 @@
-"""Render a :class:`~repro.lint.engine.LintResult` for humans or machines."""
+"""Render a :class:`~repro.lint.engine.LintResult` for humans or machines.
+
+Three formats: ``text`` (one line per diagnostic plus a summary),
+``json`` (versioned payload, stable key order) and ``sarif`` (SARIF
+2.1.0, in :mod:`repro.lint.sarif`).  All three are deterministic given
+the same diagnostics, so cold and warm (cached) runs are byte-identical.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +15,14 @@ from repro.lint.registry import all_rules
 
 __all__ = ["format_text", "format_json", "format_rule_listing", "REPORT_VERSION"]
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
+
+
+def _counts(result: LintResult) -> str:
+    counts = f"{result.suppressed} suppressed"
+    if result.baselined:
+        counts += f", {result.baselined} baselined"
+    return counts
 
 
 def format_text(result: LintResult) -> str:
@@ -18,10 +31,10 @@ def format_text(result: LintResult) -> str:
     noun = "problem" if len(result.diagnostics) == 1 else "problems"
     summary = (
         f"{len(result.diagnostics)} {noun} in {result.files_checked} files"
-        f" ({result.suppressed} suppressed)"
+        f" ({_counts(result)})"
     )
     if result.ok:
-        summary = f"ok: {result.files_checked} files, 0 problems ({result.suppressed} suppressed)"
+        summary = f"ok: {result.files_checked} files, 0 problems ({_counts(result)})"
     lines.append(summary)
     return "\n".join(lines)
 
@@ -32,16 +45,20 @@ def format_json(result: LintResult) -> str:
         "version": REPORT_VERSION,
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
+        "baselined": result.baselined,
         "diagnostics": [diagnostic.as_dict() for diagnostic in result.diagnostics],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def format_rule_listing() -> str:
-    """The ``--list-rules`` output: id, summary and guarded invariant."""
+    """The ``--list-rules`` output: id, scope, summary and guarded invariant."""
     lines: list[str] = []
     for rule_class in all_rules():
-        lines.append(f"{rule_class.id}")
+        tags = rule_class.scope
+        if rule_class.autofixable:
+            tags += ", autofixable"
+        lines.append(f"{rule_class.id} [{tags}]")
         lines.append(f"    {rule_class.summary}")
         lines.append(f"    guards: {rule_class.invariant}")
     return "\n".join(lines)

@@ -13,6 +13,7 @@ import ast
 from typing import ClassVar
 
 from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ImportMap
 from repro.lint.registry import FileContext, LintRule, register
 
 __all__ = [
@@ -26,45 +27,6 @@ __all__ = [
     "EventLogOnlyRule",
     "SnapshotBuilderOnlyRule",
 ]
-
-
-class ImportMap:
-    """Alias → canonical dotted module map for one file.
-
-    Resolves names like ``np.random.default_rng`` back to
-    ``numpy.random.default_rng`` regardless of how numpy was imported
-    (``import numpy``, ``import numpy as np``, ``from numpy import
-    random as npr``, ``from numpy.random import default_rng``, ...).
-    """
-
-    def __init__(self, tree: ast.Module):
-        self.aliases: dict[str, str] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    name = alias.asname or alias.name.split(".", 1)[0]
-                    # "import a.b" binds "a"; "import a.b as c" binds a.b.
-                    self.aliases[name] = alias.name if alias.asname else name
-            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    bound = alias.asname or alias.name
-                    self.aliases[bound] = f"{node.module}.{alias.name}"
-
-    def resolve(self, node: ast.expr) -> str | None:
-        """Canonical dotted name for an attribute chain, or ``None``."""
-        parts: list[str] = []
-        while isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        if not isinstance(node, ast.Name):
-            return None
-        base = self.aliases.get(node.id)
-        if base is None:
-            return None
-        parts.append(base)
-        return ".".join(reversed(parts))
 
 
 @register
@@ -178,6 +140,7 @@ class MutableDefaultRule(LintRule):
     id = "mutable-default"
     summary = "no mutable default argument values"
     invariant = "no state shared across calls through default arguments"
+    autofixable = True
 
     _MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
     _MUTABLE_LITERALS = (
@@ -271,6 +234,7 @@ class FloatEqualityRule(LintRule):
     id = "float-equality"
     summary = "metrics code must not compare floats with == / !="
     invariant = "metric thresholds stable under floating-point rounding"
+    autofixable = True
 
     @classmethod
     def applies_to(cls, context: FileContext) -> bool:

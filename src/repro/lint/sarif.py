@@ -1,0 +1,169 @@
+"""SARIF 2.1.0 reporter and a structural schema validator.
+
+``format_sarif`` renders a :class:`~repro.lint.engine.LintResult` as a
+SARIF (Static Analysis Results Interchange Format) 2.1.0 log so CI
+platforms can ingest cosmolint findings natively.  The output is fully
+deterministic (sorted keys, diagnostics already sorted by the engine)
+and therefore byte-comparable across runs — the CI cache check relies
+on that.
+
+``validate_sarif`` is a dependency-free structural check of the subset
+of the SARIF 2.1.0 schema cosmolint emits (versioned envelope, driver
+rule table, result/rule cross-references, physical locations).  Tests
+run every emitted payload through it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.engine import LintResult
+from repro.lint.registry import all_rules
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "format_sarif", "sarif_log", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_VERSION = "2.0.0"
+_INFO_URI = "https://github.com/paper-repo-growth/repro"
+
+
+def _rule_descriptor(rule_id: str, summary: str, invariant: str,
+                     scope: str, autofixable: bool) -> dict[str, Any]:
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": summary},
+        "fullDescription": {"text": f"guards: {invariant}"},
+        "defaultConfiguration": {"level": "error"},
+        "properties": {"scope": scope, "autofixable": autofixable},
+    }
+
+
+def sarif_log(result: LintResult) -> dict[str, Any]:
+    """The SARIF log for one lint run, as a plain dict."""
+    descriptors = [
+        _rule_descriptor(cls.id, cls.summary, cls.invariant, cls.scope, cls.autofixable)
+        for cls in all_rules()
+    ]
+    index_of = {descriptor["id"]: index for index, descriptor in enumerate(descriptors)}
+    # Diagnostics can carry rule ids outside the registry (syntax-error);
+    # give them descriptors too so every result cross-references a rule.
+    for diagnostic in result.diagnostics:
+        if diagnostic.rule not in index_of:
+            index_of[diagnostic.rule] = len(descriptors)
+            descriptors.append(_rule_descriptor(
+                diagnostic.rule, "module could not be analyzed",
+                "the tree parses", "file", False))
+
+    results = [
+        {
+            "ruleId": diagnostic.rule,
+            "ruleIndex": index_of[diagnostic.rule],
+            "level": "error",
+            "message": {"text": diagnostic.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diagnostic.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": diagnostic.line,
+                            "startColumn": diagnostic.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for diagnostic in result.diagnostics
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "cosmolint",
+                        "informationUri": _INFO_URI,
+                        "semanticVersion": _TOOL_VERSION,
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+                "properties": {
+                    "filesChecked": result.files_checked,
+                    "suppressed": result.suppressed,
+                    "baselined": result.baselined,
+                },
+            }
+        ],
+    }
+
+
+def format_sarif(result: LintResult) -> str:
+    """Serialize the SARIF log (stable key order, deterministic bytes)."""
+    return json.dumps(sarif_log(result), indent=2, sort_keys=True)
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid SARIF: {message}")
+
+
+def validate_sarif(payload: dict[str, Any]) -> dict[str, Any]:
+    """Structurally validate a SARIF 2.1.0 log; returns it unchanged.
+
+    Checks the envelope, the driver rule table and every result's
+    cross-references against the subset of the schema cosmolint emits.
+    Raises :class:`ValueError` on the first violation.
+    """
+    _expect(isinstance(payload, dict), "log must be an object")
+    _expect(payload.get("version") == SARIF_VERSION,
+            f"version must be {SARIF_VERSION!r}")
+    _expect(isinstance(payload.get("$schema"), str), "$schema must be a string")
+    runs = payload.get("runs")
+    _expect(isinstance(runs, list) and len(runs) >= 1, "runs must be a non-empty array")
+    for run in runs:
+        _expect(isinstance(run, dict), "run must be an object")
+        driver = run.get("tool", {}).get("driver", {})
+        _expect(isinstance(driver.get("name"), str) and driver["name"],
+                "tool.driver.name must be a non-empty string")
+        rules = driver.get("rules", [])
+        _expect(isinstance(rules, list), "driver.rules must be an array")
+        rule_ids = []
+        for rule in rules:
+            _expect(isinstance(rule.get("id"), str) and rule["id"],
+                    "every rule needs a string id")
+            _expect(isinstance(rule.get("shortDescription", {}).get("text"), str),
+                    "every rule needs shortDescription.text")
+            rule_ids.append(rule["id"])
+        _expect(len(rule_ids) == len(set(rule_ids)), "rule ids must be unique")
+        results = run.get("results")
+        _expect(isinstance(results, list), "run.results must be an array")
+        for item in results:
+            _expect(item.get("ruleId") in rule_ids,
+                    f"result ruleId {item.get('ruleId')!r} not in driver.rules")
+            index = item.get("ruleIndex")
+            _expect(isinstance(index, int) and 0 <= index < len(rules)
+                    and rules[index]["id"] == item["ruleId"],
+                    "result ruleIndex must match its ruleId's position")
+            _expect(item.get("level") in ("none", "note", "warning", "error"),
+                    "result level must be a SARIF level")
+            _expect(isinstance(item.get("message", {}).get("text"), str),
+                    "result message.text must be a string")
+            locations = item.get("locations")
+            _expect(isinstance(locations, list) and len(locations) >= 1,
+                    "result needs at least one location")
+            for location in locations:
+                physical = location.get("physicalLocation", {})
+                uri = physical.get("artifactLocation", {}).get("uri")
+                _expect(isinstance(uri, str) and uri, "location needs artifact uri")
+                region = physical.get("region", {})
+                _expect(isinstance(region.get("startLine"), int)
+                        and region["startLine"] >= 1,
+                        "region.startLine must be a positive integer")
+    return payload

@@ -42,6 +42,16 @@ class SimClock:
             )
         return self.advance(timestamp - self._now)
 
+    def fork(self) -> "SimClock":
+        """A new independent clock starting at this clock's current time.
+
+        The sanctioned way to derive a per-component timeline (e.g. one
+        clock per cluster replica) — ``cosmolint``'s ``clock-injection``
+        rule bans raw ``SimClock(...)`` construction outside factory
+        modules so every timeline is traceable to an injected ancestor.
+        """
+        return SimClock(self._now)
+
     def next_day_start(self) -> float:
         """Simulated timestamp of the next day boundary."""
         return (self.day + 1) * SECONDS_PER_DAY

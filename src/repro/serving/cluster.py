@@ -173,7 +173,7 @@ class CosmoCluster:
         )
         self.services: dict[str, CosmoService] = {}
         for index, replica_id in enumerate(replica_ids):
-            replica_clock = SimClock(self.clock.now())
+            replica_clock = self.clock.fork()
             self.services[replica_id] = CosmoService(
                 generator_factory(index),
                 clock=replica_clock,

@@ -1,0 +1,16 @@
+"""Isolation for cosmolint tests.
+
+The CLI writes an incremental cache and auto-loads a baseline from the
+working directory, so every lint test runs chdir'd into its own tmp dir —
+invoking ``main()`` here can never touch the real repo's cache or pick up
+its checked-in ``lint-baseline.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)

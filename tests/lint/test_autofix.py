@@ -1,0 +1,235 @@
+"""Autofixer (--fix): exact rewrites, safety skips, and the idempotence
+guarantee (fixing already-fixed source is always a no-op)."""
+
+import pytest
+
+from repro.lint.autofix import FIXABLE_RULES, fix_paths, fix_source
+from repro.lint.cli import main
+from repro.lint.engine import lint_source
+
+
+def test_fixable_rules_match_registry_flags():
+    from repro.lint.registry import all_rules
+
+    flagged = sorted(cls.id for cls in all_rules() if cls.autofixable)
+    assert flagged == sorted(FIXABLE_RULES)
+
+
+# ---------------------------------------------------------------------------
+# mutable-default
+
+
+def test_mutable_default_list_rewrite():
+    source = "def collect(item, bucket=[]):\n    return bucket\n"
+    fixed, count = fix_source(source)
+    assert count == 1
+    assert fixed == (
+        "def collect(item, bucket=None):\n"
+        "    if bucket is None:\n"
+        "        bucket = []\n"
+        "    return bucket\n"
+    )
+    assert not lint_source(fixed).diagnostics
+
+
+def test_mutable_default_guard_goes_after_docstring():
+    source = (
+        "def collect(item, bucket=[]):\n"
+        '    """Gather items."""\n'
+        "    return bucket\n"
+    )
+    fixed, count = fix_source(source)
+    assert count == 1
+    assert fixed == (
+        "def collect(item, bucket=None):\n"
+        '    """Gather items."""\n'
+        "    if bucket is None:\n"
+        "        bucket = []\n"
+        "    return bucket\n"
+    )
+
+
+def test_mutable_default_annotation_widened():
+    source = "def f(x: list[int] = []):\n    return x\n"
+    fixed, count = fix_source(source)
+    assert count == 1
+    assert fixed == (
+        "def f(x: list[int] | None = None):\n"
+        "    if x is None:\n"
+        "        x = []\n"
+        "    return x\n"
+    )
+
+
+def test_mutable_default_optional_annotation_untouched():
+    source = "def f(x: list | None = []):\n    return x\n"
+    fixed, count = fix_source(source)
+    assert count == 1
+    assert fixed.startswith("def f(x: list | None = None):\n")
+
+
+def test_mutable_default_kwonly_and_call_defaults():
+    source = "def f(*, acc=dict()):\n    return acc\n"
+    fixed, count = fix_source(source)
+    assert count == 1
+    assert fixed == (
+        "def f(*, acc=None):\n"
+        "    if acc is None:\n"
+        "        acc = dict()\n"
+        "    return acc\n"
+    )
+
+
+def test_mutable_default_same_line_body_is_skipped():
+    source = "def f(x=[]): return x\n"
+    fixed, count = fix_source(source)
+    assert count == 0
+    assert fixed == source
+
+
+def test_mutable_default_suppressed_site_is_skipped():
+    source = ("def f(x=[]):  # cosmolint: disable=mutable-default\n"
+              "    return x\n")
+    fixed, count = fix_source(source)
+    assert count == 0
+    assert fixed == source
+
+
+def test_multiple_defaults_in_one_signature():
+    source = "def f(a=[], b={}):\n    return a, b\n"
+    fixed, count = fix_source(source)
+    assert count == 2
+    assert fixed == (
+        "def f(a=None, b=None):\n"
+        "    if a is None:\n"
+        "        a = []\n"
+        "    if b is None:\n"
+        "        b = {}\n"
+        "    return a, b\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# float-equality (path-scoped to metrics/reporting code)
+
+
+def test_float_equality_rewrite_adds_math_import():
+    source = "def ok(v):\n    return v == 0.5\n"
+    fixed, count = fix_source(source, display_path="pkg/metrics.py")
+    assert count == 1
+    assert fixed == (
+        "import math\n"
+        "def ok(v):\n"
+        "    return math.isclose(v, 0.5)\n"
+    )
+    assert not lint_source(fixed, display_path="pkg/metrics.py").diagnostics
+
+
+def test_float_inequality_becomes_not_isclose():
+    source = "import math\n\ndef bad(v):\n    return v != 1.0\n"
+    fixed, count = fix_source(source, display_path="pkg/metrics.py")
+    assert count == 1
+    assert fixed.endswith("    return not math.isclose(v, 1.0)\n")
+    assert fixed.count("import math") == 1
+
+
+def test_float_equality_reuses_math_alias():
+    source = "import math as m\n\ndef bad(v):\n    return v == 2.5\n"
+    fixed, count = fix_source(source, display_path="pkg/metrics.py")
+    assert count == 1
+    assert "m.isclose(v, 2.5)" in fixed
+    assert "import math\n" not in fixed
+
+
+def test_float_equality_outside_metrics_paths_untouched():
+    source = "def ok(v):\n    return v == 0.5\n"
+    fixed, count = fix_source(source, display_path="pkg/server.py")
+    assert count == 0
+    assert fixed == source
+
+
+def test_chained_comparison_is_skipped():
+    source = "def ok(v, w):\n    return 0.0 == v == w\n"
+    fixed, count = fix_source(source, display_path="pkg/metrics.py")
+    assert count == 0
+    assert fixed == source
+
+
+def test_nested_comparisons_converge_via_fixpoint():
+    # The inner comparison overlaps the outer one's span; the fixpoint
+    # loop repairs both across passes without corrupting either.
+    source = "def weird(v, w):\n    return (v == 0.5) == (w == 1.5)\n"
+    fixed, count = fix_source(source, display_path="pkg/metrics.py")
+    assert count >= 2
+    assert "math.isclose(v, 0.5)" in fixed
+    assert "math.isclose(w, 1.5)" in fixed
+    again, more = fix_source(fixed, display_path="pkg/metrics.py")
+    assert more == 0 and again == fixed
+
+
+def test_select_limits_the_fixes():
+    source = ("def f(x=[]):\n"
+              "    return x == 0.5\n")
+    fixed, count = fix_source(source, display_path="pkg/metrics.py",
+                              select=["float-equality"])
+    assert count == 1
+    assert "x=[]" in fixed  # mutable-default untouched
+    assert "math.isclose(x, 0.5)" in fixed
+
+
+def test_syntax_error_source_is_returned_unchanged():
+    source = "def broken(:\n"
+    fixed, count = fix_source(source)
+    assert count == 0
+    assert fixed == source
+
+
+# ---------------------------------------------------------------------------
+# idempotence: fix(fix(x)) == fix(x), pinned across every fixture shape
+
+
+@pytest.mark.parametrize("source,path", [
+    ("def collect(item, bucket=[]):\n    return bucket\n", "a.py"),
+    ("def f(x: dict = {}, *, y=set()):\n    return x, y\n", "a.py"),
+    ("def ok(v):\n    return v == 0.5 or v != 1.5\n", "pkg/metrics.py"),
+    ("def mix(v, acc=[]):\n    return acc, v == 0.25\n", "pkg/metrics.py"),
+    ("class C:\n    def m(self, xs=[]):\n        '''doc'''\n        return xs\n", "a.py"),
+])
+def test_fix_is_idempotent(source, path):
+    once, first = fix_source(source, display_path=path)
+    assert first > 0
+    twice, second = fix_source(once, display_path=path)
+    assert second == 0
+    assert twice == once
+
+
+# ---------------------------------------------------------------------------
+# fix_paths and the CLI
+
+
+def test_fix_paths_rewrites_files_in_place(tmp_path):
+    dirty = tmp_path / "mod.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    clean = tmp_path / "ok.py"
+    clean.write_text("def g(x):\n    return x\n")
+    report = fix_paths([tmp_path])
+    assert report.files_changed == 1
+    assert report.fixes == 1
+    assert report.changed_paths == [str(dirty)]
+    assert "if x is None:" in dirty.read_text()
+    assert clean.read_text() == "def g(x):\n    return x\n"
+
+
+def test_cli_fix_then_lint_exits_clean(tmp_path, capsys):
+    dirty = tmp_path / "mod.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    assert main(["--fix", "--no-cache", str(dirty)]) == 0
+    captured = capsys.readouterr()
+    assert "fixed 1 finding(s) in 1 file(s)" in captured.err
+    assert "0 problems" in captured.out
+
+    # Second --fix run: nothing left to do, file untouched.
+    fixed_text = dirty.read_text()
+    assert main(["--fix", "--no-cache", str(dirty)]) == 0
+    assert "fixed 0 finding(s) in 0 file(s)" in capsys.readouterr().err
+    assert dirty.read_text() == fixed_text

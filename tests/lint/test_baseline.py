@@ -1,0 +1,140 @@
+"""Baseline workflow: write, load, filter, and the CI contract that only
+*new* diagnostics fail the run."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.baseline import BASELINE_VERSION, Baseline
+from repro.lint.cli import main
+from repro.lint.diagnostics import Diagnostic
+
+
+def _diag(rule="mutable-default", path="src/mod.py", line=3):
+    return Diagnostic(rule=rule, path=path, line=line, col=1, message="m")
+
+
+def test_write_load_roundtrip(tmp_path):
+    target = tmp_path / "baseline.json"
+    count = Baseline.write(target, [_diag(), _diag(rule="layering", line=9)])
+    assert count == 2
+    baseline = Baseline.load(target)
+    assert baseline.matches(_diag())
+    assert baseline.matches(_diag(rule="layering", line=9))
+    assert not baseline.matches(_diag(line=4))  # moved line: re-surfaces
+    assert not baseline.matches(_diag(rule="layering", line=3))
+
+
+def test_written_file_is_versioned_and_sorted(tmp_path):
+    target = tmp_path / "baseline.json"
+    Baseline.write(target, [_diag(path="b.py"), _diag(path="a.py")])
+    payload = json.loads(target.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    assert [entry["path"] for entry in payload["entries"]] == ["a.py", "b.py"]
+    assert all("message" in entry for entry in payload["entries"])
+
+
+def test_matching_is_windows_path_tolerant():
+    baseline = Baseline({("mutable-default", "src/mod.py", 3)})
+    assert baseline.matches(_diag(path="src\\mod.py"))
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(target)
+
+
+def test_lint_paths_filters_and_counts_baselined(tmp_path):
+    dirty = tmp_path / "mod.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    cold = lint_paths([dirty])
+    assert len(cold.diagnostics) == 1
+    baseline = Baseline({(d.rule, d.path, d.line) for d in cold.diagnostics})
+    filtered = lint_paths([dirty], baseline=baseline)
+    assert filtered.diagnostics == []
+    assert filtered.baselined == 1
+
+
+def test_new_violation_is_still_reported(tmp_path):
+    dirty = tmp_path / "mod.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    baseline = Baseline({(d.rule, d.path, d.line)
+                         for d in lint_paths([dirty]).diagnostics})
+    dirty.write_text(dirty.read_text() + "\n\ndef g(y=[]):\n    return y\n")
+    result = lint_paths([dirty], baseline=baseline)
+    assert [d.line for d in result.diagnostics] == [5]
+    assert result.baselined == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI workflow (conftest chdirs every test into its own tmp dir, so the
+# default ./lint-baseline.json written here is isolated)
+
+
+def test_cli_write_baseline_then_clean_run(tmp_path, capsys):
+    dirty = tmp_path / "mod.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+
+    assert main(["--write-baseline", "--no-cache", str(dirty)]) == 0
+    captured = capsys.readouterr()
+    assert "wrote 1 baseline entry to lint-baseline.json" in captured.err
+    assert Path("lint-baseline.json").exists()
+
+    # The baseline auto-loads from the working directory: exit goes green.
+    assert main(["--no-cache", str(dirty)]) == 0
+    out = capsys.readouterr().out
+    assert "0 problems" in out
+    assert "1 baselined" in out
+
+
+def test_cli_fails_on_new_entry_only(tmp_path, capsys):
+    dirty = tmp_path / "mod.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    assert main(["--write-baseline", "--no-cache", str(dirty)]) == 0
+    capsys.readouterr()
+
+    fresh = tmp_path / "fresh.py"
+    fresh.write_text("def g(y=[]):\n    return y\n")
+    assert main(["--no-cache", str(dirty), str(fresh)]) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out
+    assert "mod.py" not in out.splitlines()[0]
+
+
+def test_cli_no_baseline_reports_everything(tmp_path, capsys):
+    dirty = tmp_path / "mod.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    assert main(["--write-baseline", "--no-cache", str(dirty)]) == 0
+    capsys.readouterr()
+    assert main(["--no-baseline", "--no-cache", str(dirty)]) == 1
+
+
+def test_cli_missing_explicit_baseline_is_usage_error(tmp_path):
+    clean = tmp_path / "ok.py"
+    clean.write_text("x = 1\n")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--baseline", str(tmp_path / "nope.json"), str(clean)])
+    assert excinfo.value.code == 2
+
+
+def test_repo_baseline_matches_the_tree():
+    """The checked-in baseline stays honest: every entry corresponds to a
+    diagnostic the current tree still produces (no stale entries)."""
+    repo_root = Path(__file__).resolve().parents[2]
+    baseline_path = repo_root / "lint-baseline.json"
+    payload = json.loads(baseline_path.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    entries = payload["entries"]
+    assert entries, "baseline exists but is empty; delete it instead"
+
+    result = lint_paths([repo_root / "src"])
+    produced = {(d.rule, d.path, d.line) for d in result.diagnostics}
+    for entry in entries:
+        key = (entry["rule"],
+               str(repo_root / entry["path"]),
+               entry["line"])
+        assert key in produced, f"stale baseline entry: {entry}"

@@ -1,6 +1,9 @@
 """cosmolint CLI contract: exit codes, rule listing, select/ignore."""
 
+import importlib
 import json
+import tomllib
+from pathlib import Path
 
 import pytest
 
@@ -66,11 +69,51 @@ def test_list_rules_names_the_contract_set(capsys):
         assert rule_id in out
     assert rule_ids() == [
         "all-consistency",
+        "clock-injection",
         "event-log-only",
         "float-equality",
+        "import-cycle",
+        "layering",
         "mutable-default",
         "overbroad-except",
+        "registry-injection",
+        "rng-provenance",
         "snapshot-builder-only",
         "unscoped-rng",
         "wall-clock",
     ]
+
+
+def test_console_script_entry_point_resolves_and_runs(capsys):
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    entry = data["project"]["scripts"]["cosmolint"]
+    module_name, _, attr = entry.partition(":")
+    func = getattr(importlib.import_module(module_name), attr)
+    assert func is main
+    assert func(["--list-rules"]) == 0
+    assert "layering" in capsys.readouterr().out
+
+
+def test_list_rules_shows_scope_and_autofixable(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "layering [project]" in out
+    assert "mutable-default [file, autofixable]" in out
+    assert "unscoped-rng [file]" in out
+
+
+def test_cache_stats_on_stderr_stdout_byte_identical(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text('__all__ = ["x"]\nx = 1\n')
+    cache = tmp_path / "cache.json"
+    argv = ["--cache", str(cache), "--cache-stats", str(target)]
+
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert "cosmolint cache: 0 hit(s), 1 miss(es)" in cold.err
+
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert "cosmolint cache: 1 hit(s), 0 miss(es)" in warm.err
+    assert warm.out == cold.out  # reports identical regardless of cache state

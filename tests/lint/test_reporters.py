@@ -87,6 +87,7 @@ def test_json_reporter_exact_payload(fixture_package):
     assert payload["version"] == REPORT_VERSION
     assert payload["files_checked"] == 10
     assert payload["suppressed"] == 0
+    assert payload["baselined"] == 0
     assert payload["diagnostics"] == [
         {
             "rule": "all-consistency",
@@ -171,12 +172,14 @@ def test_json_reporter_exact_payload(fixture_package):
     ]
 
 
-def test_every_registered_rule_fires_exactly_once(fixture_package):
-    from repro.lint import rule_ids
+def test_every_file_scope_rule_fires_exactly_once(fixture_package):
+    """Project-scope rules need a repro-shaped tree; they are exercised in
+    test_project.py. Every *file*-scope rule trips exactly once here."""
+    from repro.lint.registry import file_rules
 
     result = lint_paths([fixture_package])
     fired = sorted(d.rule for d in result.diagnostics)
-    assert fired == rule_ids()
+    assert fired == sorted(rule.id for rule in file_rules())
 
 
 def test_text_reporter_lines_and_summary(fixture_package):

@@ -1,0 +1,179 @@
+"""SARIF 2.1.0 reporter: schema-valid output, exact payload pinning,
+suppression semantics, and the structural validator's own teeth."""
+
+import copy
+import json
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.cli import main
+from repro.lint.registry import rule_ids
+from repro.lint.sarif import (
+    SARIF_VERSION,
+    format_sarif,
+    sarif_log,
+    validate_sarif,
+)
+
+_VIOLATION = (
+    '__all__ = ["make"]\n'
+    "import numpy as np\n"
+    "\n"
+    "def make():\n"
+    "    return np.random.default_rng(7)\n"
+)
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    target = pkg / "mod.py"
+    target.write_text(_VIOLATION)
+    return target
+
+
+def test_emitted_log_validates(dirty_file):
+    log = sarif_log(lint_paths([dirty_file]))
+    assert validate_sarif(log) is log
+
+
+def test_result_payload_is_pinned(dirty_file):
+    log = sarif_log(lint_paths([dirty_file]))
+    run = log["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "cosmolint"
+    assert [rule["id"] for rule in driver["rules"]] == rule_ids()
+
+    assert len(run["results"]) == 1
+    result = run["results"][0]
+    rule_index = rule_ids().index("unscoped-rng")
+    assert result == {
+        "ruleId": "unscoped-rng",
+        "ruleIndex": rule_index,
+        "level": "error",
+        "message": {
+            "text": (
+                "call to numpy.random.default_rng bypasses the seed+scope "
+                "discipline; derive streams via "
+                "repro.utils.rng.spawn_rng(seed, scope=...)"
+            )
+        },
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": str(dirty_file).replace("\\", "/")},
+                    "region": {"startLine": 5, "startColumn": 12},
+                }
+            }
+        ],
+    }
+    assert run["properties"] == {"filesChecked": 1, "suppressed": 0, "baselined": 0}
+
+
+def test_rule_descriptors_carry_scope_and_autofixable(dirty_file):
+    log = sarif_log(lint_paths([dirty_file]))
+    by_id = {rule["id"]: rule for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+    assert by_id["layering"]["properties"] == {"scope": "project", "autofixable": False}
+    assert by_id["mutable-default"]["properties"] == {
+        "scope": "file", "autofixable": True}
+
+
+def test_suppressed_diagnostic_is_absent_but_counted(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import numpy as np\n"
+        "\n"
+        "def make():\n"
+        "    return np.random.default_rng(7)  # cosmolint: disable=unscoped-rng\n"
+    )
+    log = sarif_log(lint_paths([target]))
+    validate_sarif(log)
+    run = log["runs"][0]
+    assert run["results"] == []
+    assert run["properties"]["suppressed"] == 1
+
+
+def test_syntax_error_gets_a_synthetic_descriptor(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n")
+    log = sarif_log(lint_paths([target]))
+    validate_sarif(log)
+    run = log["runs"][0]
+    assert run["results"][0]["ruleId"] == "syntax-error"
+    descriptor = run["tool"]["driver"]["rules"][run["results"][0]["ruleIndex"]]
+    assert descriptor["id"] == "syntax-error"
+
+
+def test_format_sarif_is_deterministic(dirty_file):
+    first = format_sarif(lint_paths([dirty_file]))
+    second = format_sarif(lint_paths([dirty_file]))
+    assert first == second
+    assert json.loads(first)["version"] == SARIF_VERSION
+
+
+def test_cli_sarif_output_validates(dirty_file, capsys):
+    assert main(["--sarif", "--no-cache", str(dirty_file)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    validate_sarif(payload)
+    assert payload["runs"][0]["results"][0]["ruleId"] == "unscoped-rng"
+
+
+def test_cli_sarif_clean_tree_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text('__all__ = ["x"]\nx = 1\n')
+    assert main(["--format", "sarif", "--no-cache", str(clean)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    validate_sarif(payload)
+    assert payload["runs"][0]["results"] == []
+
+
+@pytest.fixture
+def valid_log(dirty_file):
+    return sarif_log(lint_paths([dirty_file]))
+
+
+def _corrupted(log, mutate):
+    broken = copy.deepcopy(log)
+    mutate(broken)
+    return broken
+
+
+def test_validator_rejects_wrong_version(valid_log):
+    broken = _corrupted(valid_log, lambda log: log.update(version="2.0.0"))
+    with pytest.raises(ValueError, match="version"):
+        validate_sarif(broken)
+
+
+def test_validator_rejects_mismatched_rule_index(valid_log):
+    def mutate(log):
+        log["runs"][0]["results"][0]["ruleIndex"] += 1
+
+    with pytest.raises(ValueError, match="ruleIndex"):
+        validate_sarif(_corrupted(valid_log, mutate))
+
+
+def test_validator_rejects_unknown_rule_id(valid_log):
+    def mutate(log):
+        log["runs"][0]["results"][0]["ruleId"] = "no-such-rule"
+
+    with pytest.raises(ValueError, match="no-such-rule"):
+        validate_sarif(_corrupted(valid_log, mutate))
+
+
+def test_validator_rejects_missing_location(valid_log):
+    def mutate(log):
+        log["runs"][0]["results"][0]["locations"] = []
+
+    with pytest.raises(ValueError, match="location"):
+        validate_sarif(_corrupted(valid_log, mutate))
+
+
+def test_validator_rejects_bad_level(valid_log):
+    def mutate(log):
+        log["runs"][0]["results"][0]["level"] = "fatal"
+
+    with pytest.raises(ValueError, match="level"):
+        validate_sarif(_corrupted(valid_log, mutate))
