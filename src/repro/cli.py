@@ -337,6 +337,191 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """End-to-end request tracing drive: one trace tree per request.
+
+    Drives Zipf traffic (with fault injection, so retries and degraded
+    serves appear) through a sharded cluster with per-request tracing
+    on, tail-based sampling deciding which traces survive, exemplars on
+    the latency histograms, and every mid-request event stamped with its
+    trace id.  Emits two byte-deterministic artifacts — the flow-linked
+    Chrome trace and the ``repro.obs.traces/v1`` summary (critical paths
+    and per-stage latency breakdowns) — and exits non-zero if any
+    tracing invariant fails: a disconnected trace tree, a stage
+    breakdown that does not sum to the charged latency, an exemplar that
+    resolves to nothing, or broken request accounting.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.obs import (
+        EventLog,
+        MetricsRegistry,
+        TailSampler,
+        TraceAnalyzer,
+        chrome_trace,
+        render_events,
+        trace_summary,
+        validate_chrome_trace,
+        validate_events,
+        validate_trace_summary,
+    )
+    from repro.serving import (
+        ClusterConfig,
+        CosmoCluster,
+        FaultInjector,
+        FaultPlan,
+        FlakyGenerator,
+    )
+    from repro.serving.chaos import ScriptedGenerator
+    from repro.utils.rng import spawn_rng
+
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print(f"error: --fault-rate must be in [0, 1], got {args.fault_rate}")
+        return 2
+
+    def scripted_ok(text: str) -> bool:
+        return bool(text.strip()) and text.rstrip().endswith(".")
+
+    def factory(index: int):
+        generator = ScriptedGenerator()
+        if args.fault_rate <= 0.0:
+            return generator
+        injector = FaultInjector(FaultPlan.mixed(args.fault_rate),
+                                 seed=args.seed + index)
+        return FlakyGenerator(generator, injector)
+
+    config = ClusterConfig(
+        n_replicas=args.replicas,
+        max_batch_size=args.max_batch_size,
+        max_batch_delay_s=args.max_batch_delay_s,
+        max_queue_depth=args.max_queue_depth,
+        seed=args.seed,
+    )
+    registry = MetricsRegistry()
+    event_log = EventLog(registry=registry)
+    sampler = TailSampler(slowest_k=args.slowest_k, window_s=args.window_s,
+                          head_every=args.head_every)
+    cluster = CosmoCluster(factory, config=config, registry=registry,
+                           event_log=event_log, sampler=sampler,
+                           response_validator=scripted_ok)
+    # Warm the yearly layer for the head of the Zipf distribution so the
+    # trace mix includes cache-hit traces, not only miss/degraded ones.
+    warm = min(args.warm_queries, args.n_queries)
+    cluster.preload_yearly({
+        f"query {i:03d}": ScriptedGenerator.knowledge_for(f"query {i:03d}")
+        for i in range(warm)
+    })
+
+    rng = spawn_rng(args.seed, "trace-traffic")
+    weights = 1.0 / np.arange(1, args.n_queries + 1) ** 1.3
+    weights /= weights.sum()
+    picks = rng.choice(args.n_queries, size=args.requests, p=weights)
+    gap_s = args.inter_arrival_ms / 1000.0
+
+    print(f"Tracing drive: {config.n_replicas} replica(s), "
+          f"{args.requests} requests, fault rate {args.fault_rate:.0%}, "
+          f"tail sampling slowest-{sampler.slowest_k}/"
+          f"{sampler.window_s:g}s window, head 1/{sampler.head_every}...")
+    for pick in picks:
+        cluster.handle(f"query {int(pick):03d}")
+        cluster.clock.advance(gap_s)
+    cluster.flush()
+    sampler.flush()
+
+    tracers = [(config.name, cluster.tracer)] + [
+        (replica_id, service.tracer)
+        for replica_id, service in cluster.services.items()
+    ]
+    trace = chrome_trace(tracers)
+    validate_chrome_trace(trace)
+    analyzer = TraceAnalyzer(tracers)
+    summary = trace_summary(analyzer)
+    validate_trace_summary(summary)
+    events_text = render_events(event_log)
+    validate_events(events_text)
+
+    failures: list[str] = []
+    totals = cluster.metrics_totals()
+    accounted = (totals["served_fresh"] + totals["degraded_serves"]
+                 + totals["fallbacks"])
+    if not accounted == totals["requests"] == totals["handled"]:
+        failures.append(f"request accounting violated: {totals}")
+    trace_ids = analyzer.trace_ids()
+    if not trace_ids:
+        failures.append("no traces retained")
+    for trace_id in trace_ids:
+        if not analyzer.is_connected(trace_id):
+            roots = [node.name for node in analyzer.roots(trace_id)]
+            failures.append(f"trace {trace_id} is disconnected: roots {roots}")
+        stages = analyzer.stage_breakdown(trace_id)
+        duration = analyzer.duration_s(trace_id)
+        if abs(sum(stages.values()) - duration) > 1e-9:
+            failures.append(
+                f"trace {trace_id}: stages sum {sum(stages.values()):.9f} "
+                f"!= charged {duration:.9f}")
+    exemplars = cluster._latency.exemplars()
+    if not exemplars:
+        failures.append("latency histogram carries no exemplars")
+    retained = set(trace_ids)
+    if exemplars and not any(tid in retained for _, tid, _ in exemplars):
+        failures.append("no latency exemplar resolves to a retained trace")
+    tagged = [e for e in event_log.events() if "trace_id" in e.attrs]
+    if not tagged:
+        failures.append("no event carries a trace id")
+
+    if args.out_trace:
+        with open(args.out_trace, "w") as handle:
+            handle.write(json.dumps(trace, sort_keys=True, indent=2) + "\n")
+        print(f"Wrote Chrome trace to {args.out_trace}")
+    if args.out_summary:
+        with open(args.out_summary, "w") as handle:
+            handle.write(json.dumps(summary, sort_keys=True, indent=2) + "\n")
+        print(f"Wrote trace summary to {args.out_summary}")
+    if args.out_events:
+        with open(args.out_events, "w") as handle:
+            handle.write(events_text)
+        print(f"Wrote event log to {args.out_events}")
+
+    table = Table("Request tracing — one simulated drive", ["Metric", "Value"])
+    table.add_row("Requests", totals["requests"])
+    table.add_row("Availability (served)", format_percent(cluster.availability))
+    table.add_row("Traces retained", len(trace_ids))
+    table.add_row("Sampler decisions",
+                  ", ".join(f"{reason} {count}"
+                            for reason, count in sampler.decisions.items()))
+    table.add_row("Spans buffered (residual)", sampler.buffered_spans)
+    table.add_row("Exemplar buckets", len(exemplars))
+    table.add_row("Trace-tagged events", len(tagged))
+    print(table.render())
+
+    aggregate = summary["aggregate"]
+    stage_table = Table("Where the latency goes (self time across traces)",
+                        ["Stage", "Total (ms)", "Traces"])
+    for stage, entry in aggregate["stages"].items():
+        stage_table.add_row(stage, f"{entry['total_s'] * 1000:.3f}",
+                            entry["traces"])
+    print(stage_table.render())
+
+    slowest = max(summary["traces"], key=lambda t: (t["duration_s"],
+                                                    t["trace_id"]))
+    print(f"\nslowest retained trace {slowest['trace_id']} "
+          f"({slowest['duration_s'] * 1000:.3f} ms, "
+          f"outcome={slowest['outcome']}):")
+    for step in slowest["critical_path"]:
+        print(f"  {step['process']:>12}  {step['name']:<24} "
+              f"self {step['self_s'] * 1000:8.3f} ms  [{step['stage']}]")
+
+    if failures:
+        print("\ntracing invariants VIOLATED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ntracing invariants: OK")
+    return 0
+
+
 def cmd_monitor(args: argparse.Namespace) -> int:
     """Continuous-monitoring drive: time series, SLO alerts, event log.
 
@@ -827,6 +1012,38 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--verbose-metrics", action="store_true",
                          help="also print the full text exposition")
     cluster.set_defaults(func=cmd_cluster)
+
+    trace = sub.add_parser(
+        "trace",
+        help="end-to-end request tracing drive: trace trees, tail "
+             "sampling, exemplars, critical paths")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--replicas", type=int, default=3)
+    trace.add_argument("--requests", type=int, default=400)
+    trace.add_argument("--n-queries", type=int, default=120,
+                       help="distinct query population (Zipf weighted)")
+    trace.add_argument("--warm-queries", type=int, default=30,
+                       help="Zipf-head queries preloaded into the yearly cache")
+    trace.add_argument("--inter-arrival-ms", type=float, default=5.0,
+                       help="simulated gap between arrivals")
+    trace.add_argument("--fault-rate", type=float, default=0.15,
+                       help="per-call generator fault probability")
+    trace.add_argument("--slowest-k", type=int, default=3,
+                       help="ordinary traces retained per sampling window")
+    trace.add_argument("--window-s", type=float, default=60.0,
+                       help="tail-sampling window in simulated seconds")
+    trace.add_argument("--head-every", type=int, default=25,
+                       help="retain every Nth ordinary trace as a baseline")
+    trace.add_argument("--max-batch-size", type=int, default=8)
+    trace.add_argument("--max-batch-delay-s", type=float, default=0.25)
+    trace.add_argument("--max-queue-depth", type=int, default=300)
+    trace.add_argument("--out-trace", type=str, default="",
+                       help="write the flow-linked Chrome trace JSON here")
+    trace.add_argument("--out-summary", type=str, default="",
+                       help="write the repro.obs.traces/v1 summary JSON here")
+    trace.add_argument("--out-events", type=str, default="",
+                       help="write the trace-stamped event log (JSONL) here")
+    trace.set_defaults(func=cmd_trace)
 
     monitor = sub.add_parser(
         "monitor",

@@ -32,7 +32,7 @@ __all__ = ["AnalysisCache", "content_hash", "CACHE_FORMAT_VERSION", "ENGINE_VERS
 CACHE_FORMAT_VERSION = 1
 
 #: Bump when rule semantics change in a way cached verdicts must not survive.
-ENGINE_VERSION = 2
+ENGINE_VERSION = 3
 
 
 def content_hash(source: str, extra: Iterable[str] = ()) -> str:

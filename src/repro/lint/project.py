@@ -337,6 +337,15 @@ def _class_symbol(node: ast.ClassDef) -> SymbolInfo:
     return SymbolInfo(node.name, "class", node.lineno, (), (), has_params=False)
 
 
+def _is_type_checking(test: ast.expr) -> bool:
+    """True for ``TYPE_CHECKING`` / ``typing.TYPE_CHECKING`` guards."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
 class _SummaryVisitor(ast.NodeVisitor):
     """One pass collecting imports, symbols, call sites and ctor sites."""
 
@@ -351,6 +360,15 @@ class _SummaryVisitor(ast.NodeVisitor):
         self._fallback_calls: set[ast.Call] = set()
 
     # -- imports ------------------------------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        # Imports under `if TYPE_CHECKING:` are erased at runtime, so
+        # they create neither layering edges nor real import cycles.
+        if _is_type_checking(node.test):
+            for stmt in node.orelse:
+                self.visit(stmt)
+            return
+        self.generic_visit(node)
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             self.import_records.append(

@@ -26,6 +26,7 @@ __all__ = [
     "AllConsistencyRule",
     "EventLogOnlyRule",
     "SnapshotBuilderOnlyRule",
+    "TraceIdContractRule",
 ]
 
 
@@ -364,6 +365,73 @@ class SnapshotBuilderOnlyRule(LintRule):
                     "repro.refresh.build_snapshot so the version id stays "
                     "a trustworthy checksum",
                 )
+        self.generic_visit(node)
+
+
+@register
+class TraceIdContractRule(LintRule):
+    """Serving modules must not invent ad-hoc trace-id attribute keys on
+    spans or events.
+
+    Trace correlation (DESIGN.md §9) works because exactly one attribute
+    key — :data:`repro.obs.tracing.TRACE_ID_ATTR` — carries a trace id,
+    stamped automatically by :meth:`~repro.obs.tracing.Tracer.attach`
+    and :meth:`~repro.obs.events.EventLog.trace_scope`.  A serving
+    module writing its own ``trace_id=...`` span/event attribute (or a
+    spelling variant like ``traceId``) creates records the
+    :class:`~repro.obs.trace_query.TraceAnalyzer`, the exemplar lookup
+    and the event correlation all silently miss.  Propagate a
+    :class:`~repro.obs.tracing.TraceContext` instead, or reference the
+    sanctioned constant (a non-literal key is not flagged).
+    """
+
+    id = "trace-id-contract"
+    summary = ("trace ids flow via Tracer.attach / EventLog.trace_scope, "
+               "never ad-hoc span/event attribute keys")
+    invariant = ("one sanctioned trace-id key across spans, events and "
+                 "exemplars (trace reassembly and correlation)")
+
+    #: span/event construction entry points whose attribute keys we police.
+    _ATTR_METHODS = ("span", "emit", "record", "set_attribute")
+
+    @classmethod
+    def applies_to(cls, context: FileContext) -> bool:
+        return "serving" in context.parts[:-1]
+
+    @staticmethod
+    def _is_trace_id_key(key: str) -> bool:
+        normalized = key.lower().replace("_", "").replace("-", "")
+        return "traceid" in normalized
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        method = None
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+        elif isinstance(func, ast.Name):
+            method = func.id
+        if method in self._ATTR_METHODS:
+            if method == "set_attribute" and node.args:
+                first = node.args[0]
+                if (isinstance(first, ast.Constant)
+                        and isinstance(first.value, str)
+                        and self._is_trace_id_key(first.value)):
+                    self.report(
+                        node,
+                        f"span attribute key {first.value!r} hand-writes a "
+                        "trace id; attach a TraceContext (Tracer.attach) or "
+                        "use obs.tracing.TRACE_ID_ATTR so analyzers can "
+                        "find it",
+                    )
+            for keyword in node.keywords:
+                if keyword.arg is not None and self._is_trace_id_key(keyword.arg):
+                    self.report(
+                        node,
+                        f"ad-hoc trace-id attribute {keyword.arg!r} on "
+                        f"{method}(); trace ids flow via Tracer.attach / "
+                        "EventLog.trace_scope under the sanctioned "
+                        "obs.tracing.TRACE_ID_ATTR key",
+                    )
         self.generic_visit(node)
 
 

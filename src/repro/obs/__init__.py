@@ -64,8 +64,26 @@ from repro.obs.metrics import (
     MetricFamily,
     MetricsRegistry,
 )
+from repro.obs.sampling import TailSampler
 from repro.obs.timebase import WallProfiler, wall_now
-from repro.obs.tracing import Span, Tracer, chrome_trace, validate_chrome_trace
+from repro.obs.trace_query import (
+    TRACES_SCHEMA,
+    PathStep,
+    TraceAnalyzer,
+    TraceNode,
+    stage_for,
+    trace_summary,
+    validate_trace_summary,
+)
+from repro.obs.tracing import (
+    TRACE_ID_ATTR,
+    Span,
+    TraceContext,
+    Tracer,
+    chrome_trace,
+    make_trace_id,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_S",
@@ -75,9 +93,20 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "Span",
+    "TRACE_ID_ATTR",
+    "TraceContext",
     "Tracer",
     "chrome_trace",
+    "make_trace_id",
     "validate_chrome_trace",
+    "TailSampler",
+    "TRACES_SCHEMA",
+    "PathStep",
+    "TraceAnalyzer",
+    "TraceNode",
+    "stage_for",
+    "trace_summary",
+    "validate_trace_summary",
     "SNAPSHOT_SCHEMA",
     "snapshot",
     "render_text",

@@ -39,6 +39,17 @@ def snapshot(registry: MetricsRegistry) -> dict:
         for labels, child in family.samples():
             sample: dict = {"labels": labels}
             if isinstance(child, Histogram):
+                exemplars = {
+                    _bound_repr(bound): {"trace_id": trace_id, "value": value}
+                    for bound, trace_id, value in child.exemplars()
+                }
+                buckets = []
+                for bound, count in child.bucket_counts():
+                    bucket: dict = {"le": _bound_repr(bound), "count": count}
+                    exemplar = exemplars.get(bucket["le"])
+                    if exemplar is not None:
+                        bucket["exemplar"] = exemplar
+                    buckets.append(bucket)
                 sample.update(
                     count=child.count,
                     sum=child.sum,
@@ -46,10 +57,7 @@ def snapshot(registry: MetricsRegistry) -> dict:
                     max=child.max,
                     p50=child.percentile(50),
                     p99=child.percentile(99),
-                    buckets=[
-                        {"le": _bound_repr(bound), "count": count}
-                        for bound, count in child.bucket_counts()
-                    ],
+                    buckets=buckets,
                 )
             else:
                 sample["value"] = child.value
@@ -111,10 +119,20 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         lines.append(f"# TYPE {family.name} {family.kind}")
         for labels, child in family.samples():
             if isinstance(child, Histogram):
+                exemplars = {bound: (trace_id, value)
+                             for bound, trace_id, value in child.exemplars()}
                 for bound, count in child.bucket_counts():
                     le = "+Inf" if math.isinf(bound) else _format_value(bound)
                     suffix = _label_suffix(labels, f'le="{le}"')
-                    lines.append(f"{family.name}_bucket{suffix} {count}")
+                    line = f"{family.name}_bucket{suffix} {count}"
+                    exemplar = exemplars.get(bound)
+                    if exemplar is not None:
+                        # OpenMetrics-style exemplar annotation: a
+                        # representative trace id for this latency band.
+                        trace_id, value = exemplar
+                        line += (f' # {{trace_id="{_escape(trace_id)}"}} '
+                                 f"{_format_value(value)}")
+                    lines.append(line)
                 suffix = _label_suffix(labels)
                 lines.append(f"{family.name}_sum{suffix} {_format_value(child.sum)}")
                 lines.append(f"{family.name}_count{suffix} {child.count}")
@@ -194,6 +212,15 @@ def _validate_histogram_sample(where: str, sample: Mapping) -> None:
         le = bucket.get("le")
         if le != "+Inf":
             _check_number(f"{b_where}.le", le)
+        exemplar = bucket.get("exemplar")
+        if exemplar is not None:
+            if not isinstance(exemplar, Mapping):
+                _fail(f"{b_where}.exemplar", "expected an object")
+            trace_id = exemplar.get("trace_id")
+            if not isinstance(trace_id, str) or not trace_id:
+                _fail(f"{b_where}.exemplar.trace_id",
+                      "expected a non-empty string")
+            _check_number(f"{b_where}.exemplar.value", exemplar.get("value"))
     if buckets[-1].get("le") != "+Inf":
         _fail(f"{where}.buckets", "last bucket must be the +Inf overflow bucket")
     if previous != count:

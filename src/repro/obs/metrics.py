@@ -93,7 +93,8 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("bounds", "_counts", "count", "sum", "_min", "_max")
+    __slots__ = ("bounds", "_counts", "count", "sum", "_min", "_max",
+                 "_exemplars")
 
     def __init__(self, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_S):
         bounds = tuple(float(b) for b in buckets)
@@ -107,6 +108,9 @@ class Histogram:
         self.sum = 0.0
         self._min: float | None = None
         self._max: float | None = None
+        #: per-bucket representative observation: (trace_id, value).
+        self._exemplars: list[tuple[str, float] | None] = \
+            [None] * (len(bounds) + 1)
 
     @property
     def min(self) -> float:
@@ -120,13 +124,30 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
-        self._counts[bisect_left(self.bounds, value)] += 1
+        index = bisect_left(self.bounds, value)
+        self._counts[index] += 1
         self.count += 1
         self.sum += value
         self._min = value if self._min is None else min(self._min, value)
         self._max = value if self._max is None else max(self._max, value)
+        if exemplar is not None:
+            # Latest-wins per bucket: each bucket remembers one concrete
+            # trace id an operator can pull up for "what does a request
+            # in this latency band look like".
+            self._exemplars[index] = (exemplar, value)
+
+    def exemplars(self) -> list[tuple[float, str, float]]:
+        """``(bucket upper bound, trace_id, value)`` for occupied buckets."""
+        out: list[tuple[float, str, float]] = []
+        for index, entry in enumerate(self._exemplars):
+            if entry is None:
+                continue
+            bound = (self.bounds[index] if index < len(self.bounds)
+                     else float("inf"))
+            out.append((bound, entry[0], entry[1]))
+        return out
 
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold another histogram's samples into this one, in place.
@@ -143,6 +164,8 @@ class Histogram:
             )
         for index, bucket in enumerate(other._counts):
             self._counts[index] += bucket
+            if other._exemplars[index] is not None:
+                self._exemplars[index] = other._exemplars[index]
         self.count += other.count
         self.sum += other.sum
         if other._min is not None:
@@ -291,8 +314,8 @@ class MetricFamily:
     def set(self, value: float) -> None:
         self.labels().set(value)  # type: ignore[union-attr]
 
-    def observe(self, value: float) -> None:
-        self.labels().observe(value)  # type: ignore[union-attr]
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        self.labels().observe(value, exemplar)  # type: ignore[union-attr, call-arg]
 
     def percentile(self, q: float) -> float:
         return self.labels().percentile(q)  # type: ignore[union-attr]

@@ -1,0 +1,159 @@
+"""Tail-based trace sampling: decide keep/drop when the trace *ends*.
+
+Head truncation (``Tracer.max_spans``) keeps whatever came first, which
+is exactly wrong for diagnosing incidents: the interesting traces — the
+errors, the degraded serves, the slow outliers — arrive after the buffer
+filled.  :class:`TailSampler` inverts that.  Trace-tagged spans are
+buffered as they open (one shared sampler can back many tracers); when
+the driver reports the trace finished (:meth:`TailSampler.finish`), the
+sampler applies its policy:
+
+* **always retain** traces flagged interesting by the caller (errors,
+  degraded/fallback outcomes) — reason ``"flagged"``;
+* **slowest-k per window**: ordinary traces compete on duration inside a
+  fixed time window; when the window closes, the k slowest commit
+  (reason ``"slow"``) and the rest drop;
+* **head sampling**: every ``head_every``-th ordinary trace commits
+  unconditionally (reason ``"head"``) so the sampler keeps a baseline of
+  normal traffic for comparison.
+
+Committed spans flow back into their tracer's retained list (still
+subject to the tracer's own ``max_spans`` hard cap); dropped traces
+count into each involved tracer's ``dropped``.  Memory is bounded by
+``max_buffered_spans``: past the bound, new spans are refused at buffer
+time (``overflow`` counter) rather than growing without bound.
+
+Everything is driven by caller-supplied simulated timestamps — the
+sampler never reads a clock — so decisions are deterministic and the
+resulting artifacts byte-stable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.tracing import Span, Tracer
+
+__all__ = ["TailSampler"]
+
+
+class TailSampler:
+    """Shared tail-sampling policy over one or more tracers.
+
+    ``slowest_k`` ordinary traces per ``window_s`` commit by duration;
+    every ``head_every``-th ordinary trace commits as a baseline sample
+    (0 disables head sampling); flagged traces always commit.  The span
+    buffer is bounded by ``max_buffered_spans``.
+    """
+
+    def __init__(self, slowest_k: int = 3, window_s: float = 60.0,
+                 head_every: int = 100, max_buffered_spans: int = 50_000):
+        if slowest_k < 0:
+            raise ValueError("slowest_k must be non-negative")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if head_every < 0:
+            raise ValueError("head_every must be non-negative")
+        if max_buffered_spans < 1:
+            raise ValueError("max_buffered_spans must be at least 1")
+        self.slowest_k = slowest_k
+        self.window_s = window_s
+        self.head_every = head_every
+        self.max_buffered_spans = max_buffered_spans
+        #: trace id → buffered ``(tracer, span)`` pairs, in open order.
+        self._buffers: dict[str, list[tuple[Tracer, Span]]] = {}
+        self._buffered_spans = 0
+        #: window candidates: ``(duration_s, finish order, trace_id)``.
+        self._candidates: list[tuple[float, int, str]] = []
+        self._window_start: float | None = None
+        self._finished = 0  # ordinary-trace counter for head sampling
+        self.overflow = 0  # spans refused because the buffer was full
+        #: committed/dropped trace counts by reason.
+        self.decisions: dict[str, int] = {
+            "flagged": 0, "slow": 0, "head": 0, "dropped": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def buffer(self, tracer: "Tracer", span: "Span") -> None:
+        """Hold one trace-tagged span until its trace's verdict."""
+        if span.trace_id is None:
+            raise ValueError("tail sampler only buffers trace-tagged spans")
+        if self._buffered_spans >= self.max_buffered_spans:
+            self.overflow += 1
+            tracer._discard(span)
+            return
+        self._buffers.setdefault(span.trace_id, []).append((tracer, span))
+        self._buffered_spans += 1
+
+    @property
+    def buffered_spans(self) -> int:
+        return self._buffered_spans
+
+    @property
+    def pending_traces(self) -> int:
+        return len(self._buffers)
+
+    # ------------------------------------------------------------------
+    def finish(self, trace_id: str, ts: float, duration_s: float,
+               flagged: bool = False) -> str:
+        """Report a trace complete; returns its (possibly deferred) fate.
+
+        ``ts`` is the trace's completion timestamp on the driver's
+        clock; it advances the sampling window.  ``flagged`` marks the
+        trace always-retain (error/degraded/fallback).  Returns
+        ``"flagged"``, ``"head"``, or ``"deferred"`` (window candidate —
+        resolved at window close or :meth:`flush`).
+        """
+        self._roll_window(ts)
+        if flagged:
+            self._commit(trace_id, "flagged")
+            return "flagged"
+        self._finished += 1
+        if self.head_every and self._finished % self.head_every == 1 % self.head_every:
+            self._commit(trace_id, "head")
+            return "head"
+        self._candidates.append((duration_s, self._finished, trace_id))
+        return "deferred"
+
+    def flush(self) -> None:
+        """Close the open window and resolve its candidates (end of drive)."""
+        self._close_window()
+        self._window_start = None
+
+    # ------------------------------------------------------------------
+    def _roll_window(self, ts: float) -> None:
+        if self._window_start is None:
+            self._window_start = ts
+            return
+        while ts >= self._window_start + self.window_s:
+            self._close_window()
+            self._window_start += self.window_s
+
+    def _close_window(self) -> None:
+        if not self._candidates:
+            return
+        # Slowest first; ties broken by finish order so the decision is
+        # deterministic even when durations repeat (the common case for
+        # fixed cache latencies).
+        ranked = sorted(self._candidates, key=lambda c: (-c[0], c[1]))
+        for duration_s, _, trace_id in ranked[:self.slowest_k]:
+            self._commit(trace_id, "slow")
+        for duration_s, _, trace_id in ranked[self.slowest_k:]:
+            self._drop(trace_id)
+        self._candidates.clear()
+
+    def _pop(self, trace_id: str) -> list[tuple["Tracer", "Span"]]:
+        spans = self._buffers.pop(trace_id, [])
+        self._buffered_spans -= len(spans)
+        return spans
+
+    def _commit(self, trace_id: str, reason: str) -> None:
+        for tracer, span in self._pop(trace_id):
+            tracer._commit(span)
+        self.decisions[reason] += 1
+
+    def _drop(self, trace_id: str) -> None:
+        for tracer, span in self._pop(trace_id):
+            tracer._discard(span)
+        self.decisions["dropped"] += 1

@@ -1,4 +1,4 @@
-"""Span tracing on an injectable clock.
+"""Span tracing on an injectable clock, with cross-tracer trace context.
 
 A :class:`Tracer` produces nested :class:`Span` context managers and
 never reads a clock of its own: ``clock`` is any zero-argument callable
@@ -8,39 +8,153 @@ cosmolint ``wall-clock`` contract); the pipeline passes its simulated
 LLM-seconds accumulator.  The only wall-clock timing in the repo lives
 in :mod:`repro.obs.timebase`.
 
+Distributed tracing: a request that hops between tracers (cluster →
+replica → batcher) carries a :class:`TraceContext`.  While a context is
+attached (:meth:`Tracer.attach`), every opened span is tagged with the
+context's ``trace_id``, and stack-root spans record the context's
+``parent_ref`` — a ``"tracer_name:span_id"`` reference to their remote
+parent — so :class:`~repro.obs.trace_query.TraceAnalyzer` can reassemble
+one tree across tracers.  Trace ids are deterministic
+(:func:`make_trace_id` hashes request sequence + key).
+
+Retention: untraced spans fall under the legacy ``max_spans`` head
+truncation; trace-tagged spans are instead buffered into an optional
+tail sampler (:class:`~repro.obs.sampling.TailSampler`) that decides
+keep/drop per *trace* at completion.  Either way the export never emits
+a dangling ``parent_id``: each span remembers its nearest retained
+ancestor, and :func:`chrome_trace` clamps to it (or to -1).
+
 Finished traces export as Chrome trace-event JSON (load into
-``chrome://tracing`` / Perfetto) via :func:`chrome_trace`, or render as
-an indented text tree via :meth:`Tracer.render_tree`.
+``chrome://tracing`` / Perfetto) via :func:`chrome_trace` — cross-tracer
+parent links become flow events (``ph: "s"/"f"``) — or render as an
+indented text tree via :meth:`Tracer.render_tree`.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping, Sequence, Union
+from zlib import crc32
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence, Union
 
-__all__ = ["Span", "Tracer", "chrome_trace", "validate_chrome_trace"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.sampling import TailSampler
+
+__all__ = [
+    "TRACE_ID_ATTR",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace",
+    "make_trace_id",
+    "validate_chrome_trace",
+]
 
 AttrValue = Union[str, int, float, bool]
+
+#: The one sanctioned attribute key under which a span/event carries its
+#: trace id.  Serving code never writes this key by hand — trace ids
+#: flow through :meth:`Tracer.attach` and ``EventLog.trace_scope``, and
+#: the cosmolint ``trace-id-contract`` rule rejects ad-hoc variants.
+TRACE_ID_ATTR = "trace_id"
 
 
 def _zero_clock() -> float:
     return 0.0
 
 
-@dataclass
-class Span:
-    """One timed operation: name, parentage, attributes, error tag."""
+def make_trace_id(sequence: int, key: str) -> str:
+    """Deterministic 16-hex-char trace id for one request.
 
-    name: str
-    span_id: int
-    parent_id: int | None
-    start_s: float
-    depth: int
-    end_s: float | None = None
-    attributes: dict[str, AttrValue] = field(default_factory=dict)
-    status: str = "ok"
-    error_type: str | None = None
+    The low half is a CRC-32 of the query key (readable correlation —
+    the same query always shares a suffix); the high half is the
+    request's global sequence number, which alone guarantees uniqueness.
+    Stable across runs, no wall-clock or RNG state, and cheap enough to
+    mint per request (one id per traced request; ``bench_trace_overhead``
+    pins the budget — a crypto hash here costs ~4% of the request path).
+    """
+    return "%016x" % ((sequence & 0xFFFFFFFF) << 32 | crc32(key.encode("utf-8")))
+
+
+class TraceContext:
+    """Propagated request identity: trace id + remote parent span ref.
+
+    ``parent_ref`` is a ``"tracer_name:span_id"`` string naming the span
+    (in another tracer) under which this hop's root spans should hang;
+    None for the trace's origin hop.  Immutable by convention; a plain
+    ``__slots__`` class (not a frozen dataclass) because two are minted
+    per traced request and frozen-dataclass construction costs ~2x.
+    """
+
+    __slots__ = ("trace_id", "parent_ref")
+
+    def __init__(self, trace_id: str, parent_ref: str | None = None):
+        self.trace_id = trace_id
+        self.parent_ref = parent_ref
+
+    def __repr__(self) -> str:
+        return f"TraceContext(trace_id={self.trace_id!r}, parent_ref={self.parent_ref!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceContext):
+            return NotImplemented
+        return (self.trace_id == other.trace_id
+                and self.parent_ref == other.parent_ref)
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.parent_ref))
+
+    def child(self, parent_ref: str) -> "TraceContext":
+        """The context to hand downstream, parented under ``parent_ref``."""
+        return TraceContext(self.trace_id, parent_ref)
+
+
+class Span:
+    """One timed operation: name, parentage, attributes, error tag.
+
+    ``export_parent_id`` is the nearest *retained* same-tracer ancestor
+    (falls back to ``parent_id``); ``remote_parent`` is the cross-tracer
+    parent ref a context-attached stack-root span inherited.
+
+    A span is its own context manager: :meth:`Tracer.span` opens it (the
+    open happens at the call, not at ``__enter__``) and the ``with``
+    block's exit closes it.  Hand-rolled ``__slots__`` rather than a
+    dataclass/contextlib pairing — span open/close sits on the
+    per-request hot path six times over, and ``bench_trace_overhead``
+    pins the traced/bare ratio.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "start_s", "depth",
+                 "end_s", "attributes", "status", "error_type", "trace_id",
+                 "remote_parent", "export_parent_id", "retained", "_tracer")
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None,
+                 start_s: float, depth: int,
+                 end_s: float | None = None,
+                 attributes: dict[str, AttrValue] | None = None,
+                 status: str = "ok", error_type: str | None = None,
+                 trace_id: str | None = None,
+                 remote_parent: str | None = None,
+                 export_parent_id: int | None = None,
+                 retained: bool = True):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.depth = depth
+        self.end_s = end_s
+        self.attributes = {} if attributes is None else attributes
+        self.status = status
+        self.error_type = error_type
+        self.trace_id = trace_id
+        self.remote_parent = remote_parent
+        self.export_parent_id = export_parent_id
+        self.retained = retained
+        self._tracer: "Tracer | None" = None
+
+    def __repr__(self) -> str:
+        return (f"Span(name={self.name!r}, span_id={self.span_id}, "
+                f"parent_id={self.parent_id}, start_s={self.start_s}, "
+                f"end_s={self.end_s}, trace_id={self.trace_id!r}, "
+                f"status={self.status!r})")
 
     @property
     def duration_s(self) -> float:
@@ -49,59 +163,236 @@ class Span:
     def set_attribute(self, key: str, value: AttrValue) -> None:
         self.attributes[key] = value
 
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.error_type = exc_type.__name__
+        tracer = self._tracer
+        self.end_s = tracer.clock()
+        tracer._stack.pop()
+        return False
+
+
+class _Attachment:
+    """Enter/exit handle returned by :meth:`Tracer.attach`.
+
+    Optionally swaps the tracer's clock for the scope's duration too
+    (``Tracer.attach(context, clock=...)``) — one handle, one
+    enter/exit, instead of stacking ``attach`` and ``clocked``.
+    """
+
+    __slots__ = ("_tracer", "_context", "_clock", "_previous", "_previous_clock")
+
+    def __init__(self, tracer: "Tracer", context: TraceContext,
+                 clock: Callable[[], float] | None = None):
+        self._tracer = tracer
+        self._context = context
+        self._clock = clock
+        self._previous: TraceContext | None = None
+        self._previous_clock: Callable[[], float] | None = None
+
+    def __enter__(self) -> "Tracer":
+        tracer = self._tracer
+        self._previous = tracer._context
+        tracer._context = self._context
+        if self._clock is not None:
+            self._previous_clock = tracer.clock
+            tracer.clock = self._clock
+        return tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        tracer._context = self._previous
+        if self._clock is not None:
+            tracer.clock = self._previous_clock
+        return False
+
+
+class _ClockOverride:
+    """Enter/exit handle returned by :meth:`Tracer.clocked`."""
+
+    __slots__ = ("_tracer", "_clock", "_previous")
+
+    def __init__(self, tracer: "Tracer", clock: Callable[[], float]):
+        self._tracer = tracer
+        self._clock = clock
+        self._previous: Callable[[], float] | None = None
+
+    def __enter__(self) -> "Tracer":
+        tracer = self._tracer
+        self._previous = tracer.clock
+        tracer.clock = self._clock
+        return tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer.clock = self._previous
+        return False
+
 
 class Tracer:
-    """Builds nested spans; bounded memory via ``max_spans``.
+    """Builds nested spans; bounded memory via ``max_spans`` or a sampler.
 
-    Spans beyond ``max_spans`` still time correctly and participate in
-    nesting, but are not retained (``dropped`` counts them) — tracing a
-    long-running service never grows without bound.
+    Untraced spans beyond ``max_spans`` still time correctly and
+    participate in nesting, but are not retained (``dropped`` counts
+    them) — tracing a long-running service never grows without bound.
+    Trace-tagged spans (opened while a :class:`TraceContext` is
+    attached) go through ``sampler`` when one is set: the whole trace is
+    kept or dropped at completion (tail-based sampling) instead of being
+    head-truncated mid-request.
+
+    ``name`` identifies this tracer in cross-tracer span refs and must
+    be unique among tracers merged into one trace/export.
     """
 
     def __init__(self, clock: Callable[[], float] | None = None,
-                 max_spans: int = 10_000):
+                 max_spans: int = 10_000, name: str = "tracer",
+                 sampler: "TailSampler | None" = None):
         self.clock: Callable[[], float] = clock if clock is not None else _zero_clock
         self.max_spans = max_spans
+        self.name = name
+        self.sampler = sampler
         self.dropped = 0
         self._spans: list[Span] = []  # retained spans, in start order
         self._stack: list[Span] = []
         self._next_id = 1
+        self._context: TraceContext | None = None
 
-    @contextmanager
-    def span(self, name: str, **attributes: AttrValue) -> Iterator[Span]:
-        """Open a child span of the current span (or a root span)."""
-        record = Span(
-            name=name,
-            span_id=self._next_id,
-            parent_id=self._stack[-1].span_id if self._stack else None,
-            start_s=float(self.clock()),
-            depth=len(self._stack),
-            attributes=dict(attributes),
-        )
+    # -- trace-context propagation --------------------------------------
+    @property
+    def active_context(self) -> TraceContext | None:
+        """The currently attached :class:`TraceContext`, if any."""
+        return self._context
+
+    def attach(self, context: TraceContext,
+               clock: Callable[[], float] | None = None) -> _Attachment:
+        """Tag spans opened inside with ``context``'s trace id.
+
+        Stack-root spans opened while attached additionally record the
+        context's ``parent_ref`` as their remote parent, linking this
+        tracer's subtree under the upstream span.  ``clock`` additionally
+        retimes spans for the scope (equivalent to nesting
+        :meth:`clocked`, one context manager cheaper).
+        """
+        return _Attachment(self, context, clock)
+
+    def ref(self, span: Span) -> str:
+        """The cross-tracer reference naming ``span`` in this tracer."""
+        return f"{self.name}:{span.span_id}"
+
+    # -- span construction ----------------------------------------------
+    def _open(self, name: str, start_s: float,
+              attributes: dict[str, AttrValue],
+              parent: Span | None) -> Span:
+        # Direct __new__ + attribute sets: this constructor runs for
+        # every span of every traced request, and skipping __init__'s
+        # parameter binding is a measurable slice of the traced/bare
+        # ratio pinned by bench_trace_overhead.
+        record = Span.__new__(Span)
+        record.name = name
+        record.span_id = self._next_id
+        record.start_s = start_s
+        record.end_s = None
+        record.attributes = attributes
+        record.status = "ok"
+        record.error_type = None
+        record.trace_id = None
+        record.remote_parent = None
+        record.retained = True
+        record._tracer = None
+        if parent is not None:
+            record.parent_id = parent.span_id
+            record.depth = parent.depth + 1
+            record.export_parent_id = (parent.span_id if parent.retained
+                                       else parent.export_parent_id)
+        else:
+            record.parent_id = None
+            record.depth = 0
+            record.export_parent_id = None
         self._next_id += 1
+        context = self._context
+        if context is not None:
+            record.trace_id = context.trace_id
+            if parent is None:
+                record.remote_parent = context.parent_ref
+        sampler = self.sampler
+        if record.trace_id is not None and sampler is not None:
+            # Tail sampling: tentatively retained, buffered until the
+            # trace finishes and the sampler decides keep/drop.  The
+            # buffer fast path is inlined (equivalent to
+            # ``sampler.buffer(self, record)``) — a call per span is a
+            # measurable slice of the bench_trace_overhead budget.
+            if sampler._buffered_spans < sampler.max_buffered_spans:
+                buffers = sampler._buffers
+                entries = buffers.get(record.trace_id)
+                if entries is None:
+                    buffers[record.trace_id] = [(self, record)]
+                else:
+                    entries.append((self, record))
+                sampler._buffered_spans += 1
+            else:
+                sampler.overflow += 1
+                self.dropped += 1
+                record.retained = False
+        elif len(self._spans) < self.max_spans:
+            self._spans.append(record)
+        else:
+            self.dropped += 1
+            record.retained = False
+        return record
+
+    def _commit(self, record: Span) -> None:
+        """Sampler callback: the record's trace was kept."""
         if len(self._spans) < self.max_spans:
             self._spans.append(record)
         else:
             self.dropped += 1
-        self._stack.append(record)
-        try:
-            yield record
-        except BaseException as error:
-            record.status = "error"
-            record.error_type = type(error).__name__
-            raise
-        finally:
-            record.end_s = float(self.clock())
-            self._stack.pop()
+            record.retained = False
 
-    @contextmanager
-    def clocked(self, clock: Callable[[], float]) -> Iterator["Tracer"]:
+    def _discard(self, record: Span) -> None:
+        """Sampler callback: the record's trace was sampled out."""
+        self.dropped += 1
+        record.retained = False
+
+    def span(self, name: str, **attributes: AttrValue) -> Span:
+        """Open a child span of the current span (or a root span).
+
+        The span opens *now* — use the return value as a context manager
+        immediately (``with tracer.span(...) as s:``); the block's exit
+        closes it.
+        """
+        stack = self._stack
+        record = self._open(name, self.clock(), attributes,
+                            stack[-1] if stack else None)
+        record._tracer = self
+        stack.append(record)
+        return record
+
+    def record(self, name: str, start_s: float, end_s: float,
+               parent: Span | None = None,
+               **attributes: AttrValue) -> Span:
+        """Append a completed span with explicit timestamps.
+
+        For retroactive spans whose window is known only after the fact
+        (e.g. queueing delay computed at dispatch).  ``parent`` overrides
+        stack parentage; with no parent and no open span it is a root.
+        """
+        if end_s < start_s:
+            raise ValueError(f"span {name!r} ends ({end_s}) before it "
+                             f"starts ({start_s})")
+        record = self._open(
+            name, float(start_s), dict(attributes),
+            parent if parent is not None
+            else (self._stack[-1] if self._stack else None),
+        )
+        record.end_s = float(end_s)
+        return record
+
+    def clocked(self, clock: Callable[[], float]) -> _ClockOverride:
         """Temporarily time spans on a different clock callable."""
-        previous, self.clock = self.clock, clock
-        try:
-            yield self
-        finally:
-            self.clock = previous
+        return _ClockOverride(self, clock)
 
     def spans(self) -> list[Span]:
         return list(self._spans)
@@ -127,25 +418,47 @@ def chrome_trace(tracers: Sequence[tuple[str, Tracer]]) -> dict:
     Each ``(process_name, tracer)`` pair becomes one pid so timelines
     with different clocks (pipeline simulated seconds vs serving
     SimClock) render side by side without sharing an axis.  Complete
-    ("X") events carry span attributes, ids and error status in
-    ``args``.  Output is deterministic for deterministic span times.
+    ("X") events carry span attributes, ids, trace ids and error status
+    in ``args``; ``parent_id`` is clamped to the nearest retained
+    ancestor (or -1) so it always resolves.  Cross-tracer parent refs
+    export as flow-event pairs (``ph: "s"`` at the parent, ``ph: "f"``
+    at the child) linking the request across pids.  Output is
+    deterministic for deterministic span times.
     """
+    refs: dict[str, tuple[int, Span]] = {}
+    retained_ids: list[set[int]] = []
+    for pid, (process, tracer) in enumerate(tracers, start=1):
+        ids = {span.span_id for span in tracer.spans() if span.end_s is not None}
+        retained_ids.append(ids)
+        for span in tracer.spans():
+            if span.end_s is not None:
+                refs[f"{tracer.name}:{span.span_id}"] = (pid, span)
     events: list[dict] = []
+    flows: list[dict] = []
+    flow_id = 0
     for pid, (process, tracer) in enumerate(tracers, start=1):
         events.append({
             "name": "process_name", "ph": "M", "pid": pid, "tid": 1,
             "args": {"name": process},
         })
+        ids = retained_ids[pid - 1]
         for span in tracer.spans():
             if span.end_s is None:
                 continue
+            parent = span.export_parent_id
+            if parent is None:
+                parent = span.parent_id
+            if parent is None or parent not in ids:
+                parent = -1
             args: dict[str, AttrValue] = {
                 "span_id": span.span_id,
-                "parent_id": -1 if span.parent_id is None else span.parent_id,
+                "parent_id": parent,
                 "status": span.status,
             }
             if span.error_type is not None:
                 args["error_type"] = span.error_type
+            if span.trace_id is not None:
+                args[TRACE_ID_ATTR] = span.trace_id
             args.update(span.attributes)
             events.append({
                 "name": span.name,
@@ -157,35 +470,97 @@ def chrome_trace(tracers: Sequence[tuple[str, Tracer]]) -> dict:
                 "tid": 1,
                 "args": args,
             })
-    return {"displayTimeUnit": "ms", "traceEvents": events}
+            if span.remote_parent is not None:
+                linked = refs.get(span.remote_parent)
+                if linked is not None:
+                    parent_pid, parent_span = linked
+                    flow_id += 1
+                    flows.append({
+                        "name": "trace", "cat": "trace", "ph": "s",
+                        "id": flow_id, "pid": parent_pid, "tid": 1,
+                        "ts": parent_span.start_s * 1e6,
+                    })
+                    flows.append({
+                        "name": "trace", "cat": "trace", "ph": "f",
+                        "bp": "e", "id": flow_id, "pid": pid, "tid": 1,
+                        "ts": span.start_s * 1e6,
+                    })
+    return {"displayTimeUnit": "ms", "traceEvents": events + flows}
+
+
+def _require_int(where: str, key: str, value: object) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{where}: {key!r} must be an integer")
+    return value
 
 
 def validate_chrome_trace(payload: object) -> None:
     """Raise :class:`ValueError` unless ``payload`` is a structurally
-    valid Chrome trace-event document as produced by :func:`chrome_trace`."""
+    valid Chrome trace-event document as produced by :func:`chrome_trace`.
+
+    Beyond shape checks this enforces referential integrity: within each
+    pid, ``args.span_id`` values are unique and every ``args.parent_id``
+    is -1 or names a span event in the same pid; flow start/finish
+    events pair up by id.  Booleans masquerading as ints (``pid``,
+    ``tid``, ``ts``...) and negative timestamps are rejected.
+    """
     if not isinstance(payload, Mapping):
         raise ValueError("trace payload must be a JSON object")
     events = payload.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError("trace payload must have a 'traceEvents' list")
+    span_ids: dict[int, set[int]] = {}
+    parent_refs: list[tuple[str, int, int]] = []
+    flow_phases: dict[int, set[str]] = {}
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, Mapping):
             raise ValueError(f"{where}: event must be an object")
         phase = event.get("ph")
-        if phase not in ("M", "X"):
+        if phase not in ("M", "X", "s", "f"):
             raise ValueError(f"{where}: unsupported phase {phase!r}")
-        for key in ("pid", "tid"):
-            if not isinstance(event.get(key), int):
-                raise ValueError(f"{where}: {key!r} must be an integer")
+        pid = _require_int(where, "pid", event.get("pid"))
+        _require_int(where, "tid", event.get("tid"))
         if not isinstance(event.get("name"), str):
             raise ValueError(f"{where}: 'name' must be a string")
         if not isinstance(event.get("args", {}), Mapping):
             raise ValueError(f"{where}: 'args' must be an object")
+        if phase in ("X", "s", "f"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+                raise ValueError(f"{where}: 'ts' must be a number")
+            if ts < 0:
+                raise ValueError(f"{where}: 'ts' must be non-negative")
         if phase == "X":
-            for key in ("ts", "dur"):
-                value = event.get(key)
-                if not isinstance(value, (int, float)) or isinstance(value, bool):
-                    raise ValueError(f"{where}: {key!r} must be a number")
-            if event["dur"] < 0:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                raise ValueError(f"{where}: 'dur' must be a number")
+            if dur < 0:
                 raise ValueError(f"{where}: 'dur' must be non-negative")
+            args = event.get("args", {})
+            if "span_id" in args:
+                span_id = _require_int(where, "args.span_id", args["span_id"])
+                if span_id < 1:
+                    raise ValueError(f"{where}: 'args.span_id' must be positive")
+                pid_ids = span_ids.setdefault(pid, set())
+                if span_id in pid_ids:
+                    raise ValueError(
+                        f"{where}: duplicate span_id {span_id} in pid {pid}")
+                pid_ids.add(span_id)
+            if "parent_id" in args:
+                parent = _require_int(where, "args.parent_id", args["parent_id"])
+                if parent != -1:
+                    parent_refs.append((where, pid, parent))
+        elif phase in ("s", "f"):
+            flow = _require_int(where, "id", event.get("id"))
+            flow_phases.setdefault(flow, set()).add(phase)
+    for where, pid, parent in parent_refs:
+        if parent not in span_ids.get(pid, set()):
+            raise ValueError(
+                f"{where}: parent_id {parent} does not resolve to any "
+                f"span_id in pid {pid}")
+    for flow, phases in flow_phases.items():
+        if phases != {"s", "f"}:
+            raise ValueError(
+                f"flow id {flow} must have exactly a start ('s') and a "
+                f"finish ('f') event, got phases {sorted(phases)}")

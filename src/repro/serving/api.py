@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.llm.interface import KnowledgeGenerator
+from repro.obs.tracing import TraceContext
 
 __all__ = [
     "KnowledgeGenerator",
@@ -71,10 +72,17 @@ class ServeRequest:
     (the expensive comparison arm of the serving bench); the default
     cached mode serves from the two-layer cache and enqueues misses for
     batch processing.
+
+    ``trace`` is the distributed-tracing context the request carries
+    (:class:`~repro.obs.tracing.TraceContext`).  The cluster mints one
+    per request (or propagates a caller-supplied one) so spans opened on
+    the router, the replica, the cache and the resilience layer all join
+    one trace tree; ``None`` serves the request untraced.
     """
 
     query: str
     direct: bool = False
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -88,6 +96,12 @@ class ServeResult:
     replica itself charged.  ``replica`` is the serving replica's name
     (a single :class:`~repro.serving.deployment.CosmoService` reports
     its own ``name``).
+
+    ``trace_id`` echoes the request's trace id when it carried a
+    :class:`~repro.obs.tracing.TraceContext` (None otherwise), so a
+    caller holding a slow result can pull the matching trace out of a
+    :class:`~repro.obs.trace_query.TraceAnalyzer` or a latency-histogram
+    exemplar.
     """
 
     query: str
@@ -96,6 +110,7 @@ class ServeResult:
     source: str
     latency_s: float
     replica: str
+    trace_id: str | None = None
 
     @property
     def served(self) -> bool:

@@ -114,7 +114,18 @@ class AsyncCacheStore:
             "cache_entries", "live cache entries by layer", ("store", "layer"),
         )
         self._name = name
+        self._tracer = None
         self.request_log: Counter = Counter()
+
+    def attach_tracer(self, tracer) -> None:
+        """Collect a ``cache.fetch`` span per *traced* lookup.
+
+        ``tracer`` is the owning service's tracer; spans are only opened
+        while a :class:`~repro.obs.tracing.TraceContext` is attached to
+        it, so untraced traffic (preloads, benches with tracing off)
+        costs nothing here.
+        """
+        self._tracer = tracer
 
     def _publish_sizes(self) -> None:
         self._size_gauge.labels(store=self._name, layer="yearly").set(len(self._yearly))
@@ -141,6 +152,15 @@ class AsyncCacheStore:
         shedding load skips the queue so shed traffic cannot crowd out
         admitted misses).
         """
+        if self._tracer is not None and self._tracer.active_context is not None:
+            with self._tracer.span("cache.fetch", store=self._name) as span:
+                hit = self._fetch(query, enqueue)
+                span.set_attribute("outcome",
+                                   hit[1] if hit is not None else "miss")
+            return hit
+        return self._fetch(query, enqueue)
+
+    def _fetch(self, query: str, enqueue: bool) -> tuple[str, str] | None:
         self.request_log[query] += 1
         self._roll_daily_layer()
         if query in self._yearly:

@@ -35,17 +35,43 @@ Everything is deterministic: same seed, same traffic, same bytes out.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import Tracer
-from repro.serving.api import ServeRequest, ServeResult
+from repro.obs.sampling import TailSampler
+from repro.obs.tracing import TraceContext, Tracer, make_trace_id
+from repro.serving.api import ServeOutcome, ServeRequest, ServeResult
 from repro.serving.clock import SimClock
 from repro.serving.deployment import CosmoService
 from repro.serving.router import ConsistentHashRouter
 
 __all__ = ["ClusterConfig", "AdaptiveBatchScheduler", "CosmoCluster"]
+
+
+class _HeldClock:
+    """Explicit-time clock for spans that straddle two real clocks.
+
+    The cluster's request span must cover exactly the end-to-end charged
+    window ``[arrival, start + service latency]``, but no single clock
+    traverses that interval (the arrival clock stands still while the
+    replica clock serves).  The cluster times its request spans on this
+    holder instead, setting ``value`` at each boundary it crosses.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def now(self) -> float:
+        return self.value
+
+
+#: Shared no-op scope for traced requests with no event log attached —
+#: ``nullcontext`` holds no state, so one instance serves every request.
+_NULL_SCOPE = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -55,7 +81,12 @@ class ClusterConfig:
     ``max_batch_delay_s`` bounds miss-to-batch staleness per replica;
     ``max_queue_depth`` is the cluster-wide pending bound past which
     admission control sheds misses to the degraded path; ``failover``
-    can be switched off to measure what breaker-blind routing costs.
+    can be switched off to measure what breaker-blind routing costs;
+    ``trace_requests`` gates per-request distributed tracing (span
+    construction and trace-context propagation) — switch it off for the
+    bare arm of the tracing-overhead bench.  Tracing never changes what
+    a request is charged or counted: span bookkeeping advances no clock
+    and touches no metric.
     """
 
     n_replicas: int = 2
@@ -64,6 +95,7 @@ class ClusterConfig:
     max_batch_delay_s: float = 30.0
     max_queue_depth: int = 500
     failover: bool = True
+    trace_requests: bool = True
     seed: int = 0
     name: str = "cluster"
 
@@ -150,13 +182,16 @@ class CosmoCluster:
         clock: SimClock | None = None,
         registry: MetricsRegistry | None = None,
         event_log: EventLog | None = None,
+        sampler: TailSampler | None = None,
         **service_kwargs,
     ):
         self.config = config or ClusterConfig()
         cfg = self.config
         self.clock = clock or SimClock()
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.tracer = Tracer(clock=self.clock.now)
+        self.sampler = sampler
+        self.tracer = Tracer(clock=self.clock.now, name=cfg.name,
+                             sampler=sampler)
         self.event_log = event_log
         self._started_at = self.clock.now()
         replica_ids = [f"{cfg.name}-r{i}" for i in range(cfg.n_replicas)]
@@ -167,6 +202,7 @@ class CosmoCluster:
             # operator acts at cluster time, not on any one replica's.
             self.router.attach_event_log(event_log, clock=self.clock.now,
                                          component=cfg.name)
+        self.router.attach_tracer(self.tracer)
         self.scheduler = AdaptiveBatchScheduler(
             max_batch_size=cfg.max_batch_size,
             max_batch_delay_s=cfg.max_batch_delay_s,
@@ -179,7 +215,8 @@ class CosmoCluster:
                 clock=replica_clock,
                 seed=cfg.seed + index,
                 registry=self.registry,
-                tracer=Tracer(clock=replica_clock.now),
+                tracer=Tracer(clock=replica_clock.now, name=replica_id,
+                              sampler=sampler),
                 event_log=event_log,
                 name=replica_id,
                 **service_kwargs,
@@ -238,10 +275,27 @@ class CosmoCluster:
         advances it between calls to model the offered load.  The
         returned result is the replica's, with ``latency_s`` replaced by
         the end-to-end figure (shard queueing delay + service latency).
+
+        With ``trace_requests`` on (the default) the request runs under
+        a deterministic :class:`~repro.obs.tracing.TraceContext` — minted
+        from the request sequence number and the query, or propagated
+        from ``request.trace`` when the caller supplied one — and every
+        hop (routing, queueing, cache, degradation, generator attempts,
+        the batch flush it triggers) contributes spans to one trace tree.
+        The traced and bare paths perform identical clock and metric
+        operations, so accounting is byte-identical either way.
         """
         if isinstance(request, str):
             request = ServeRequest(query=request)
         self._requests.inc()
+        if not self.config.trace_requests:
+            return self._handle_bare(request)
+        context = request.trace or TraceContext(
+            make_trace_id(int(self._requests.value), request.query))
+        return self._handle_traced(request, context)
+
+    def _handle_bare(self, request: ServeRequest) -> ServeResult:
+        """The untraced request path (``trace_requests=False``)."""
         shed = self.queue_depth >= self.config.max_queue_depth
         if shed:
             self._shed.inc()
@@ -259,10 +313,73 @@ class CosmoCluster:
         self._depth_gauge.set(self.queue_depth)
         return replace(result, latency_s=end_to_end)
 
+    def _handle_traced(self, request: ServeRequest,
+                       context: TraceContext) -> ServeResult:
+        """The traced request path: same operations as
+        :meth:`_handle_bare`, wrapped in a ``cluster.request`` span tree.
+
+        The root span is timed on a :class:`_HeldClock` so its window is
+        exactly ``[arrival, start + service latency]`` — the end-to-end
+        latency the request is charged — with a ``cluster.queueing``
+        child covering ``[arrival, start]``.  Events emitted mid-request
+        are stamped with the trace id via the event log's trace scope.
+        """
+        arrival = self.clock.now()
+        held = _HeldClock(arrival)
+        log_scope = (self.event_log.trace_scope(context.trace_id)
+                     if self.event_log is not None else _NULL_SCOPE)
+        with log_scope, self.tracer.attach(context, clock=held.now):
+            with self.tracer.span("cluster.request",
+                                  query=request.query) as root:
+                shed = self.queue_depth >= self.config.max_queue_depth
+                if shed:
+                    self._shed.inc()
+                    root.set_attribute("shed", True)
+                replica_id, failed_over = self._select(request.query)
+                if failed_over:
+                    self._failovers.inc()
+                    root.set_attribute("failover", True)
+                service = self.services[replica_id]
+                start = max(arrival, service.clock.now())
+                if start > arrival:
+                    with self.tracer.span("cluster.queueing",
+                                          replica=replica_id):
+                        service.clock.sleep_until(start)
+                        held.value = start
+                else:
+                    # No shard backlog: the request dispatches on arrival
+                    # and a zero-width queueing span would only cost hot-
+                    # path time (the stage breakdown reports queueing 0).
+                    service.clock.sleep_until(start)
+                # The child context travels out-of-band (the ``trace``
+                # keyword) rather than via a copied request: frozen-
+                # dataclass construction is measurable at per-request
+                # rates (bench_trace_overhead pins the traced/bare ratio).
+                result = service.serve(
+                    request, allow_enqueue=not shed,
+                    trace=context.child(self.tracer.ref(root)),
+                )
+                end_to_end = (start - arrival) + result.latency_s
+                held.value = start + result.latency_s
+                attrs = root.attributes
+                attrs["replica"] = result.replica
+                attrs["outcome"] = result.outcome.value
+                attrs["source"] = result.source
+                self._latency.observe(end_to_end, exemplar=context.trace_id)
+                self._maybe_flush(replica_id, context)
+            self._depth_gauge.set(self.queue_depth)
+        if self.sampler is not None:
+            self.sampler.finish(
+                context.trace_id, ts=held.value, duration_s=end_to_end,
+                flagged=result.outcome is not ServeOutcome.FRESH,
+            )
+        return replace(result, latency_s=end_to_end)
+
     # ------------------------------------------------------------------
     # Batching
     # ------------------------------------------------------------------
-    def _maybe_flush(self, replica_id: str) -> None:
+    def _maybe_flush(self, replica_id: str,
+                     context: TraceContext | None = None) -> None:
         service = self.services[replica_id]
         pending = service.cache.pending_size
         now = service.clock.now()
@@ -270,13 +387,22 @@ class CosmoCluster:
             self.scheduler.note_pending(replica_id, now)
         trigger = self.scheduler.should_flush(replica_id, pending, now)
         if trigger is not None:
-            self._flush_replica(replica_id, trigger)
+            self._flush_replica(replica_id, trigger, context)
 
-    def _flush_replica(self, replica_id: str, trigger: str) -> int:
+    def _flush_replica(self, replica_id: str, trigger: str,
+                       context: TraceContext | None = None) -> int:
         service = self.services[replica_id]
         with self.tracer.span("cluster.flush", replica=replica_id,
                               trigger=trigger) as span:
-            installed = service.run_batch(max_queries=self.config.max_batch_size)
+            # When the flush fires inside a traced request, hang the
+            # replica's batch spans under this flush span so the whole
+            # generator/retry subtree stays in the request's trace.
+            attach = (service.tracer.attach(
+                          context.child(self.tracer.ref(span)))
+                      if context is not None else nullcontext())
+            with attach:
+                installed = service.run_batch(
+                    max_queries=self.config.max_batch_size)
             span.set_attribute("installed", installed)
         self._flushes.labels(cluster=self.config.name, trigger=trigger).inc()
         self.scheduler.flushed(replica_id)

@@ -25,11 +25,12 @@ the baseline arm of ``benchmarks/bench_ablation_resilience.py``.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import TraceContext, Tracer
 from repro.serving.api import (
     SOURCE_CACHE_DAILY,
     SOURCE_CACHE_YEARLY,
@@ -109,8 +110,10 @@ class ServingMetrics:
             "end-to-end simulated request latency", ("service",),
         ).labels(**labels)
 
-    def observe_latency(self, seconds: float) -> None:
-        self.latency.observe(seconds)
+    def observe_latency(self, seconds: float, trace_id: str | None = None) -> None:
+        """Record one request latency; ``trace_id`` attaches an exemplar
+        to the histogram bucket the observation lands in."""
+        self.latency.observe(seconds, exemplar=trace_id)
 
     @property
     def requests(self) -> int:
@@ -220,6 +223,7 @@ class CosmoService:
             self.clock, daily_capacity=daily_capacity,
             registry=self.registry, name=name,
         )
+        self.cache.attach_tracer(self.tracer)
         self.features = FeatureStore(self.clock, registry=self.registry, name=name)
         self.metrics = ServingMetrics(registry=self.registry, service=name)
         self.dead_letters: list[DeadLetter] = []
@@ -236,6 +240,7 @@ class CosmoService:
                 breaker=breaker or CircuitBreaker(self.clock),
                 validator=response_validator,
                 seed=seed,
+                tracer=self.tracer,
             )
             self._resilient.breaker.attach_registry(self.registry, name=name)
             if event_log is not None:
@@ -285,11 +290,29 @@ class CosmoService:
         return self._resilient is not None
 
     # ------------------------------------------------------------------
+    def _observe_latency(self, latency_s: float) -> None:
+        """Latency observation with the active trace id as its exemplar."""
+        context = self.tracer.active_context
+        self.metrics.observe_latency(
+            latency_s, trace_id=None if context is None else context.trace_id)
+
     def _charge_request(self, latency_s: float) -> None:
-        self.metrics.observe_latency(latency_s)
+        self._observe_latency(latency_s)
         self.clock.advance(latency_s)
 
-    def serve(self, request: ServeRequest, allow_enqueue: bool = True) -> ServeResult:
+    def _maybe_span(self, name: str, **attributes):
+        """A span context while a trace context is attached, else a no-op.
+
+        The stage spans of the serve path (cache serve, degraded serve,
+        generation) only exist for traced requests; untraced callers pay
+        nothing.
+        """
+        if self.tracer.active_context is not None:
+            return self.tracer.span(name, **attributes)
+        return nullcontext(None)
+
+    def serve(self, request: ServeRequest, allow_enqueue: bool = True,
+              trace: TraceContext | None = None) -> ServeResult:
         """Serve one structured request; the canonical entrypoint.
 
         Cached mode walks the degradation chain: fresh cache entry →
@@ -299,13 +322,41 @@ class CosmoService:
         load keeps the degraded answer but skips the queue), so degraded
         answers heal on the next batch cycle.  Direct mode bypasses the
         cache and calls the model synchronously.
+
+        When the request carries a :class:`~repro.obs.tracing.TraceContext`
+        the whole serve runs under an attached ``serving.request`` span —
+        cache fetch, degradation steps and generator attempts become
+        child spans and the result echoes the trace id.
+
+        ``trace`` overrides ``request.trace`` when given: the cluster
+        passes its per-hop child context out-of-band so propagation does
+        not have to copy the (frozen) request once per request.
         """
-        if request.direct:
-            result = self._serve_direct(request.query)
+        if trace is None:
+            trace = request.trace
+        if trace is None:
+            result = self._serve(request, allow_enqueue)
         else:
-            result = self._serve_cached(request.query, allow_enqueue)
+            with self.tracer.attach(trace):
+                with self.tracer.span(
+                    "serving.request", service=self.name,
+                    mode="direct" if request.direct else "cached",
+                ) as span:
+                    result = self._serve(request, allow_enqueue)
+                    attrs = span.attributes
+                    attrs["outcome"] = result.outcome.value
+                    attrs["source"] = result.source
+            # The result is freshly built by _serve and unshared, so stamp
+            # the frozen dataclass in place — dataclasses.replace's field
+            # introspection is measurable at per-request rates.
+            object.__setattr__(result, "trace_id", trace.trace_id)
         self._note_outcome(result)
         return result
+
+    def _serve(self, request: ServeRequest, allow_enqueue: bool) -> ServeResult:
+        if request.direct:
+            return self._serve_direct(request.query)
+        return self._serve_cached(request.query, allow_enqueue)
 
     def _note_outcome(self, result: ServeResult) -> None:
         """Publish degraded-mode *transitions* into the event log.
@@ -335,7 +386,8 @@ class CosmoService:
         hit = self.cache.fetch(query, enqueue=allow_enqueue)
         if hit is not None:
             text, layer = hit
-            self._charge_request(_CACHE_LATENCY_S)
+            with self._maybe_span("serving.cache_serve", layer=layer):
+                self._charge_request(_CACHE_LATENCY_S)
             self.metrics.served_fresh += 1
             source = SOURCE_CACHE_YEARLY if layer == "yearly" else SOURCE_CACHE_DAILY
             return ServeResult(query=query, text=text, outcome=ServeOutcome.FRESH,
@@ -344,12 +396,14 @@ class CosmoService:
         if self._resilient is not None:
             stale, source = self._stale_response(query)
             if stale is not None:
-                self._charge_request(_DEGRADED_LATENCY_S)
+                with self._maybe_span("serving.degraded_serve", source=source):
+                    self._charge_request(_DEGRADED_LATENCY_S)
                 self.metrics.degraded_serves += 1
                 return ServeResult(query=query, text=stale,
                                    outcome=ServeOutcome.DEGRADED, source=source,
                                    latency_s=_DEGRADED_LATENCY_S, replica=self.name)
-        self._charge_request(_CACHE_LATENCY_S)
+        with self._maybe_span("serving.fallback_serve"):
+            self._charge_request(_CACHE_LATENCY_S)
         self.metrics.fallbacks += 1
         return ServeResult(query=query, text=self._fallback,
                            outcome=ServeOutcome.FALLBACK, source=SOURCE_FALLBACK,
@@ -377,16 +431,32 @@ class CosmoService:
         clock_before = self.clock.now()
         latency_before = self.generator.latency.total_simulated_s
         source = self._resilient if self._resilient is not None else self.generator
-        try:
-            generation = source.generate_knowledge([prompt])[0]
-        except (GeneratorFault, CircuitOpenError, RetriesExhausted):
+        generation = None
+        # Under a ResilientGenerator the per-attempt spans
+        # (resilience.attempt / resilience.backoff) already cover the
+        # generator call, so a serving.generate wrapper would only
+        # duplicate the generation stage on the hot path; it is emitted
+        # for the raw-generator configuration that has no spans of its own.
+        if self._resilient is not None:
+            try:
+                generation = source.generate_knowledge([prompt])[0]
+            except (GeneratorFault, CircuitOpenError, RetriesExhausted):
+                pass
+        else:
+            with self._maybe_span("serving.generate") as span:
+                try:
+                    generation = source.generate_knowledge([prompt])[0]
+                except GeneratorFault:
+                    if span is not None:
+                        span.set_attribute("outcome", "failed")
+        if generation is None:
             return self._degrade_direct(query, clock_before, latency_before)
         if self._resilient is not None:
             latency = self.clock.now() - clock_before
-            self.metrics.observe_latency(latency)
+            self._observe_latency(latency)
         else:
             latency = self.generator.latency.total_simulated_s - latency_before
-            self.metrics.observe_latency(latency)
+            self._observe_latency(latency)
             self.clock.advance(latency)
         self.metrics.served_fresh += 1
         self._last_good[query] = generation.text
@@ -405,16 +475,18 @@ class CosmoService:
             self.clock.advance(self.generator.latency.total_simulated_s - latency_before)
         stale, source = self._stale_response(query)
         if stale is not None and self._resilient is not None:
-            self.clock.advance(_DEGRADED_LATENCY_S)
+            with self._maybe_span("serving.degraded_serve", source=source):
+                self.clock.advance(_DEGRADED_LATENCY_S)
             latency = self.clock.now() - clock_before
-            self.metrics.observe_latency(latency)
+            self._observe_latency(latency)
             self.metrics.degraded_serves += 1
             return ServeResult(query=query, text=stale,
                                outcome=ServeOutcome.DEGRADED, source=source,
                                latency_s=latency, replica=self.name)
-        self.clock.advance(_CACHE_LATENCY_S)
+        with self._maybe_span("serving.fallback_serve"):
+            self.clock.advance(_CACHE_LATENCY_S)
         latency = self.clock.now() - clock_before
-        self.metrics.observe_latency(latency)
+        self._observe_latency(latency)
         self.metrics.fallbacks += 1
         return ServeResult(query=query, text=self._fallback,
                            outcome=ServeOutcome.FALLBACK, source=SOURCE_FALLBACK,

@@ -20,6 +20,7 @@ simulated hours run in milliseconds and replay bit-identically.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from enum import Enum
 
@@ -315,6 +316,7 @@ class ResilientGenerator:
         breaker: CircuitBreaker | None = None,
         validator=None,
         seed: int = 0,
+        tracer=None,
     ):
         self.inner = generator
         self.clock = clock
@@ -324,6 +326,17 @@ class ResilientGenerator:
         self.parameter_count = getattr(generator, "parameter_count", 0)
         self._validate = validator or _default_validator
         self._rng = spawn_rng(seed, "resilience-jitter")
+        self._tracer = tracer
+
+    def _maybe_span(self, name: str, **attributes):
+        """A span context while a trace context is attached, else a no-op.
+
+        Gating on ``active_context`` keeps untraced batch work (daily
+        refresh, redrives, benches with tracing off) span-free.
+        """
+        if self._tracer is not None and self._tracer.active_context is not None:
+            return self._tracer.span(name, **attributes)
+        return nullcontext(None)
 
     def __getattr__(self, name):
         if name == "inner":
@@ -351,22 +364,31 @@ class ResilientGenerator:
                 outcome.breaker_refused = True
                 break
             if outcome.attempts:
-                wait = self.retry.backoff_s(outcome.attempts, self._rng)
-                self.clock.advance(wait)
+                with self._maybe_span("resilience.backoff",
+                                      retry=outcome.attempts):
+                    wait = self.retry.backoff_s(outcome.attempts, self._rng)
+                    self.clock.advance(wait)
                 outcome.wait_s += wait
                 outcome.retries += 1
             outcome.attempts += 1
             before = self.latency.total_simulated_s
-            try:
-                generations = self.inner.generate_knowledge(
-                    [prompts[i] for i in remaining]
-                )
-            except GeneratorFault:
+            with self._maybe_span("resilience.attempt",
+                                  attempt=outcome.attempts,
+                                  prompts=len(remaining)) as span:
+                try:
+                    generations = self.inner.generate_knowledge(
+                        [prompts[i] for i in remaining]
+                    )
+                except GeneratorFault:
+                    self.clock.advance(self.latency.total_simulated_s - before)
+                    outcome.errors += 1
+                    self.breaker.record_failure()
+                    if span is not None:
+                        span.set_attribute("outcome", "fault")
+                    continue
                 self.clock.advance(self.latency.total_simulated_s - before)
-                outcome.errors += 1
-                self.breaker.record_failure()
-                continue
-            self.clock.advance(self.latency.total_simulated_s - before)
+                if span is not None:
+                    span.set_attribute("outcome", "ok")
             self.breaker.record_success()
             still_failed = []
             for index, generation in zip(remaining, generations):

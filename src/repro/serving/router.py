@@ -66,6 +66,7 @@ class ConsistentHashRouter:
         self._event_log = None
         self._event_clock = None
         self._event_component = "router"
+        self._tracer = None
 
     # ------------------------------------------------------------------
     def attach_event_log(self, event_log, clock, component: str = "router") -> None:
@@ -79,6 +80,15 @@ class ConsistentHashRouter:
         self._event_log = event_log
         self._event_clock = clock
         self._event_component = component
+
+    def attach_tracer(self, tracer) -> None:
+        """Collect a ``router.route`` span per *traced* lookup.
+
+        Spans only open while a trace context is attached to ``tracer``
+        (the cluster's arrival-clock tracer), so untraced routing — cache
+        preloads, benches with tracing off — stays span-free.
+        """
+        self._tracer = tracer
 
     def _emit(self, kind: str, replica: str) -> None:
         if self._event_log is not None:
@@ -139,6 +149,21 @@ class ConsistentHashRouter:
         The first entry is the key's owner; later entries are the
         failover order the cluster walks when breakers are open.
         """
+        # Routing is spanned only while the ring is degraded (replicas
+        # drained): that is when the decision is interesting.  Steady-
+        # state routing is a pure hash lookup, and an always-on span here
+        # would be the single hottest span in the cluster
+        # (bench_trace_overhead pins the traced/bare budget).
+        if (self._drained and self._tracer is not None
+                and self._tracer.active_context is not None):
+            with self._tracer.span("router.route", active=len(self.active),
+                                   drained=len(self._drained)) as span:
+                order = self._preference(key, limit)
+                span.set_attribute("owner", order[0] if order else "")
+            return order
+        return self._preference(key, limit)
+
+    def _preference(self, key: str, limit: int | None) -> list[str]:
         start = bisect_left(self._points, _point(f"{self.seed}|key|{key}"))
         order: list[str] = []
         seen: set[str] = set()

@@ -77,6 +77,13 @@ def fixture_package(tmp_path):
         def announce(replica):
             print("draining", replica)
         """)
+    module(serving / "tagger.py", """
+        __all__ = ["tag"]
+
+        def tag(tracer, tid):
+            with tracer.span("serve", trace_id=tid):
+                return tid
+        """)
     return pkg
 
 
@@ -85,7 +92,7 @@ def test_json_reporter_exact_payload(fixture_package):
     payload = json.loads(format_json(result))
 
     assert payload["version"] == REPORT_VERSION
-    assert payload["files_checked"] == 10
+    assert payload["files_checked"] == 11
     assert payload["suppressed"] == 0
     assert payload["baselined"] == 0
     assert payload["diagnostics"] == [
@@ -158,6 +165,17 @@ def test_json_reporter_exact_payload(fixture_package):
             ),
         },
         {
+            "rule": "trace-id-contract",
+            "path": str(fixture_package / "serving" / "tagger.py"),
+            "line": 4,
+            "col": 10,
+            "message": (
+                "ad-hoc trace-id attribute 'trace_id' on span(); trace ids "
+                "flow via Tracer.attach / EventLog.trace_scope under the "
+                "sanctioned obs.tracing.TRACE_ID_ATTR key"
+            ),
+        },
+        {
             "rule": "snapshot-builder-only",
             "path": str(fixture_package / "snapmod.py"),
             "line": 5,
@@ -186,7 +204,7 @@ def test_text_reporter_lines_and_summary(fixture_package):
     result = lint_paths([fixture_package])
     text = format_text(result)
     lines = text.splitlines()
-    assert lines[-1] == "8 problems in 10 files (0 suppressed)"
+    assert lines[-1] == "9 problems in 11 files (0 suppressed)"
     assert f"{fixture_package / 'allmod.py'}:1:1: [all-consistency] " in lines[0]
     assert all(":" in line for line in lines[:-1])
 

@@ -10,6 +10,7 @@ from repro.lint.rules import (
     MutableDefaultRule,
     OverbroadExceptRule,
     SnapshotBuilderOnlyRule,
+    TraceIdContractRule,
     UnscopedRngRule,
     WallClockRule,
 )
@@ -418,6 +419,83 @@ def test_snapshot_builder_only_ignores_unrelated_same_named_classes():
         path="src/repro/core/pipeline.py",
     )
     assert diags == []
+
+
+# -- trace-id-contract --------------------------------------------------
+
+
+def test_trace_id_contract_flags_ad_hoc_span_keyword():
+    diags = run_rule(
+        TraceIdContractRule,
+        """
+        with tracer.span("serve", trace_id=context.trace_id):
+            pass
+        """,
+        path="src/repro/serving/deployment.py",
+    )
+    assert [d.rule for d in diags] == ["trace-id-contract"]
+    assert "Tracer.attach" in diags[0].message
+
+
+def test_trace_id_contract_flags_spelling_variants_on_emit_and_record():
+    diags = run_rule(
+        TraceIdContractRule,
+        """
+        event_log.emit("serve", "request", traceId=tid)
+        tracer.record("flush", 0.0, 1.0, TraceID=tid)
+        """,
+        path="src/repro/serving/cluster.py",
+    )
+    assert [d.rule for d in diags] == ["trace-id-contract"] * 2
+
+
+def test_trace_id_contract_flags_literal_set_attribute_key():
+    diags = run_rule(
+        TraceIdContractRule,
+        """
+        span.set_attribute("trace_id", context.trace_id)
+        """,
+        path="src/repro/serving/cache.py",
+    )
+    assert [d.rule for d in diags] == ["trace-id-contract"]
+
+
+def test_trace_id_contract_allows_the_sanctioned_constant():
+    diags = run_rule(
+        TraceIdContractRule,
+        """
+        from repro.obs.tracing import TRACE_ID_ATTR
+
+        span.set_attribute(TRACE_ID_ATTR, context.trace_id)
+        """,
+        path="src/repro/serving/deployment.py",
+    )
+    assert diags == []
+
+
+def test_trace_id_contract_allows_trace_id_outside_attr_methods():
+    diags = run_rule(
+        TraceIdContractRule,
+        """
+        from dataclasses import replace
+
+        result = replace(result, trace_id=context.trace_id)
+        sampler.finish(context.trace_id, ts=now, duration_s=d, flagged=True)
+        """,
+        path="src/repro/serving/cluster.py",
+    )
+    assert diags == []
+
+
+def test_trace_id_contract_scoped_to_serving_modules():
+    source = """
+    with tracer.span("assemble", trace_id=tid):
+        pass
+    """
+    assert run_rule(TraceIdContractRule, source,
+                    path="src/repro/obs/trace_query.py") == []
+    assert len(run_rule(TraceIdContractRule, source,
+                        path="src/repro/serving/router.py")) == 1
 
 
 # -- suppressions -------------------------------------------------------

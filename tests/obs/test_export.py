@@ -73,6 +73,35 @@ def test_render_prometheus_exposition_format():
     assert text.endswith("\n")
 
 
+def test_snapshot_carries_bucket_exemplars():
+    registry = MetricsRegistry()
+    latency = registry.histogram("latency_s", buckets=(0.01, 0.1))
+    latency.observe(0.005, exemplar="00000001deadbeef")
+    latency.observe(0.5)
+    snap = snapshot(registry)
+    validate_snapshot(snap)
+    buckets = snap["metrics"][0]["samples"][0]["buckets"]
+    assert buckets[0]["exemplar"] == {"trace_id": "00000001deadbeef",
+                                      "value": 0.005}
+    assert "exemplar" not in buckets[1]  # untagged bucket stays bare
+    assert "exemplar" not in buckets[2]
+
+
+def test_render_prometheus_emits_exemplar_annotations():
+    registry = MetricsRegistry()
+    latency = registry.histogram("latency_s", buckets=(0.01, 0.1))
+    latency.observe(0.005, exemplar="00000001deadbeef")
+    latency.observe(0.02)
+    text = render_prometheus(registry)
+    tagged = [l for l in text.splitlines()
+              if l.startswith('latency_s_bucket{le="0.01"}')]
+    assert tagged == [
+        'latency_s_bucket{le="0.01"} 1 '
+        '# {trace_id="00000001deadbeef"} 0.005']
+    # Buckets without an exemplar render the plain exposition line.
+    assert 'latency_s_bucket{le="0.1"} 2' in text.splitlines()
+
+
 def test_render_prometheus_escapes_label_values():
     registry = MetricsRegistry()
     registry.counter("c_total", "", ("k",)).labels(k='a"b\\c\nd').inc()

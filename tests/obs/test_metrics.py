@@ -119,6 +119,28 @@ def test_histogram_samples_above_top_bucket_bound():
     assert 5.0 <= hist.percentile(50) <= 300.0
 
 
+def test_histogram_exemplars_latest_wins_per_bucket():
+    hist = Histogram((0.1, 1.0))
+    hist.observe(0.05, exemplar="trace-a")
+    hist.observe(0.07, exemplar="trace-b")  # same bucket: replaces a
+    hist.observe(0.5)                       # no exemplar: bucket stays bare
+    hist.observe(5.0, exemplar="trace-c")   # overflow bucket
+    assert hist.exemplars() == [
+        (0.1, "trace-b", 0.07),
+        (float("inf"), "trace-c", 5.0),
+    ]
+
+
+def test_histogram_merge_carries_exemplars():
+    a = Histogram((0.1, 1.0))
+    b = Histogram((0.1, 1.0))
+    a.observe(0.05, exemplar="old")
+    b.observe(0.06, exemplar="new")
+    b.observe(0.5, exemplar="mid")
+    merged = Histogram(a.bounds).merge(a).merge(b)
+    assert merged.exemplars() == [(0.1, "new", 0.06), (1.0, "mid", 0.5)]
+
+
 def test_histogram_merge_adds_exactly_and_rejects_bound_mismatch():
     a = Histogram((0.1, 1.0))
     b = Histogram((0.1, 1.0))

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.obs.tracing import Tracer, chrome_trace, validate_chrome_trace
+from repro.obs.tracing import (
+    TraceContext,
+    Tracer,
+    chrome_trace,
+    make_trace_id,
+    validate_chrome_trace,
+)
 
 
 class FakeClock:
@@ -129,7 +135,211 @@ def test_chrome_trace_skips_unfinished_spans():
                       "ts": 0, "dur": -1}]},  # negative duration
     {"traceEvents": [{"ph": "X", "pid": "1", "tid": 1, "name": "x",
                       "ts": 0, "dur": 0}]},  # pid not an int
+    {"traceEvents": [{"ph": "X", "pid": True, "tid": 1, "name": "x",
+                      "ts": 0, "dur": 0}]},  # bool masquerading as pid
+    {"traceEvents": [{"ph": "X", "pid": 1, "tid": False, "name": "x",
+                      "ts": 0, "dur": 0}]},  # bool masquerading as tid
+    {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1, "name": "x",
+                      "ts": True, "dur": 0}]},  # bool masquerading as ts
+    {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1, "name": "x",
+                      "ts": -0.5, "dur": 0}]},  # negative timestamp
+    {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1, "name": "x", "ts": 0,
+                      "dur": 0, "args": {"span_id": 1, "parent_id": 7}}]},
+    # ^ parent_id does not resolve to any span in the pid
+    {"traceEvents": [
+        {"ph": "X", "pid": 1, "tid": 1, "name": "x", "ts": 0, "dur": 0,
+         "args": {"span_id": 3, "parent_id": -1}},
+        {"ph": "X", "pid": 1, "tid": 1, "name": "y", "ts": 0, "dur": 0,
+         "args": {"span_id": 3, "parent_id": -1}},
+    ]},  # duplicate span_id within a pid
+    {"traceEvents": [{"ph": "s", "pid": 1, "tid": 1, "name": "trace",
+                      "ts": 0, "id": 1}]},  # flow start without finish
 ])
 def test_validate_chrome_trace_rejects_malformed(payload):
     with pytest.raises(ValueError):
         validate_chrome_trace(payload)
+
+
+def test_parent_id_resolves_across_pids_is_still_rejected():
+    # Referential integrity is per-pid: a parent_id pointing at a span
+    # in a *different* process does not count.
+    payload = {"traceEvents": [
+        {"ph": "X", "pid": 1, "tid": 1, "name": "a", "ts": 0, "dur": 0,
+         "args": {"span_id": 1, "parent_id": -1}},
+        {"ph": "X", "pid": 2, "tid": 1, "name": "b", "ts": 0, "dur": 0,
+         "args": {"span_id": 2, "parent_id": 1}},
+    ]}
+    with pytest.raises(ValueError):
+        validate_chrome_trace(payload)
+
+
+# -- trace-context propagation ---------------------------------------------
+
+
+def test_make_trace_id_is_deterministic_and_sequence_unique():
+    assert make_trace_id(5, "query 001") == make_trace_id(5, "query 001")
+    assert make_trace_id(5, "query 001") != make_trace_id(6, "query 001")
+    one = make_trace_id(1, "same query")
+    two = make_trace_id(2, "same query")
+    assert len(one) == 16 and int(one, 16) >= 0
+    # Same query, different sequence: the key half (low 8 hex) matches.
+    assert one[8:] == two[8:] and one[:8] != two[:8]
+
+
+def test_attach_tags_spans_and_links_stack_roots():
+    tracer = Tracer(name="replica")
+    context = TraceContext("abc123", parent_ref="cluster:7")
+    with tracer.attach(context):
+        with tracer.span("serving.request") as root:
+            with tracer.span("cache.fetch") as child:
+                pass
+    assert root.trace_id == child.trace_id == "abc123"
+    # Only the stack root inherits the remote parent ref.
+    assert root.remote_parent == "cluster:7"
+    assert child.remote_parent is None
+    assert child.parent_id == root.span_id
+    assert tracer.ref(root) == f"replica:{root.span_id}"
+    assert tracer.active_context is None  # detached on exit
+
+
+def test_attach_restores_previous_context_and_clock():
+    clock = FakeClock()
+    tracer = Tracer()
+    outer = TraceContext("outer")
+    with tracer.attach(outer):
+        with tracer.attach(TraceContext("inner"), clock=clock.now):
+            clock.advance(3.0)
+            with tracer.span("in") as inner_span:
+                pass
+        assert tracer.active_context is outer
+        with tracer.span("out") as outer_span:
+            pass
+    assert inner_span.trace_id == "inner" and inner_span.start_s == 3.0
+    assert outer_span.trace_id == "outer" and outer_span.start_s == 0.0
+
+
+def test_trace_context_child_and_equality():
+    context = TraceContext("tid")
+    child = context.child("cluster:3")
+    assert child.trace_id == "tid" and child.parent_ref == "cluster:3"
+    assert context == TraceContext("tid")
+    assert context != child
+    assert hash(context) == hash(TraceContext("tid"))
+    assert context != "tid"  # NotImplemented falls back to not-equal
+
+
+def test_record_appends_completed_span_with_explicit_window():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        pass
+    span = tracer.record("retro", start_s=1.0, end_s=2.5, parent=root, n=1)
+    assert span.start_s == 1.0 and span.end_s == 2.5
+    assert span.parent_id == root.span_id
+    assert span.attributes == {"n": 1}
+    with pytest.raises(ValueError):
+        tracer.record("backwards", start_s=2.0, end_s=1.0)
+
+
+def test_head_truncated_export_stays_referentially_valid():
+    tracer = Tracer(max_spans=2)
+    with tracer.span("root"):
+        with tracer.span("middle"):
+            with tracer.span("leaf"):  # exceeds max_spans: dropped
+                pass
+    payload = chrome_trace([("p", tracer)])
+    validate_chrome_trace(payload)
+    assert [e["name"] for e in payload["traceEvents"]] == [
+        "process_name", "root", "middle"]
+
+
+def test_dropped_middle_span_reparents_descendants_in_export():
+    tracer = Tracer(max_spans=10)
+    with tracer.span("root") as root:
+        with tracer.span("middle") as middle:
+            middle.retained = False  # sampled out mid-trace
+            tracer._spans.remove(middle)
+            tracer.dropped += 1
+            with tracer.span("leaf") as leaf:
+                pass
+    assert leaf.export_parent_id == root.span_id
+    payload = chrome_trace([("p", tracer)])
+    validate_chrome_trace(payload)
+    (leaf_event,) = [e for e in payload["traceEvents"]
+                     if e.get("name") == "leaf"]
+    assert leaf_event["args"]["parent_id"] == root.span_id
+
+
+def test_cross_tracer_flow_events_pair_up():
+    cluster = Tracer(name="cluster")
+    replica = Tracer(name="replica")
+    context = TraceContext("t1")
+    with cluster.attach(context):
+        with cluster.span("cluster.request") as root:
+            with replica.attach(context.child(cluster.ref(root))):
+                with replica.span("serving.request"):
+                    pass
+    payload = chrome_trace([("cluster", cluster), ("replica", replica)])
+    validate_chrome_trace(payload)
+    flows = [e for e in payload["traceEvents"] if e["ph"] in ("s", "f")]
+    assert [f["ph"] for f in flows] == ["s", "f"]
+    assert flows[0]["pid"] == 1 and flows[1]["pid"] == 2
+    assert flows[0]["id"] == flows[1]["id"]
+
+
+def test_flow_to_unretained_parent_is_omitted():
+    replica = Tracer(name="replica")
+    with replica.attach(TraceContext("t1", parent_ref="cluster:99")):
+        with replica.span("serving.request"):
+            pass
+    # The remote parent's tracer isn't part of the export: no dangling
+    # one-sided flow may appear.
+    payload = chrome_trace([("replica", replica)])
+    validate_chrome_trace(payload)
+    assert [e["ph"] for e in payload["traceEvents"]] == ["M", "X"]
+
+
+# -- clock override scopes --------------------------------------------------
+
+
+def test_clocked_restores_clock_when_the_body_raises():
+    clock = FakeClock()
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.clocked(clock.now):
+            raise RuntimeError("boom")
+    with tracer.span("after"):
+        pass
+    (span,) = tracer.spans()
+    assert span.start_s == 0.0  # zero clock restored despite the error
+
+
+def test_clocked_scopes_nest_and_unwind_in_order():
+    slow, fast = FakeClock(), FakeClock()
+    slow.advance(10.0)
+    fast.advance(100.0)
+    tracer = Tracer()
+    with tracer.clocked(slow.now):
+        with tracer.clocked(fast.now):
+            with tracer.span("inner"):
+                pass
+        with tracer.span("middle"):
+            pass
+    with tracer.span("outer"):
+        pass
+    inner, middle, outer = tracer.spans()
+    assert inner.start_s == 100.0
+    assert middle.start_s == 10.0
+    assert outer.start_s == 0.0
+
+
+def test_span_straddling_a_clocked_boundary_times_each_edge_on_its_clock():
+    clock = FakeClock()
+    tracer = Tracer()  # zero clock
+    span = tracer.span("straddle")
+    span.__enter__()  # opened at 0.0 on the zero clock
+    with tracer.clocked(clock.now):
+        clock.advance(4.0)
+        span.__exit__(None, None, None)  # closed on the override clock
+    assert span.start_s == 0.0
+    assert span.end_s == 4.0
+    assert span.duration_s == 4.0

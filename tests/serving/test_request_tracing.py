@@ -1,0 +1,146 @@
+"""End-to-end request tracing through the sharded serving stack."""
+
+import pytest
+
+from repro.obs import EventLog, MetricsRegistry, TailSampler, TraceAnalyzer
+from repro.obs.tracing import TRACE_ID_ATTR, TraceContext, chrome_trace, \
+    validate_chrome_trace
+from repro.serving import ClusterConfig, CosmoCluster, ServeOutcome, \
+    ServeRequest
+from repro.serving.chaos import ScriptedGenerator
+from repro.serving.faults import GeneratorFault
+
+
+class BrokenGenerator:
+    """Always faults; inherits ScriptedGenerator's latency accounting."""
+
+    def __init__(self):
+        self.inner = ScriptedGenerator()
+        self.latency = self.inner.latency
+        self.parameter_count = self.inner.parameter_count
+
+    def generate_knowledge(self, prompts):
+        self.latency.charge(self.parameter_count, 1)
+        raise GeneratorFault("scripted outage")
+
+
+def _tracers(cluster):
+    return [(cluster.config.name, cluster.tracer)] + [
+        (replica_id, service.tracer)
+        for replica_id, service in cluster.services.items()
+    ]
+
+
+def _build(generator_factory, **config_kwargs):
+    registry = MetricsRegistry()
+    event_log = EventLog(registry=registry)
+    sampler = TailSampler(slowest_k=1, window_s=60.0, head_every=0)
+    cluster = CosmoCluster(
+        generator_factory,
+        config=ClusterConfig(n_replicas=2, max_batch_size=1,
+                             max_batch_delay_s=0.5, **config_kwargs),
+        registry=registry, event_log=event_log, sampler=sampler,
+    )
+    return cluster, sampler, event_log
+
+
+def test_degraded_request_produces_one_connected_flagged_trace():
+    """The acceptance scenario: one request against a dead generator.
+
+    The miss walks the whole stack — routing, cache fetch, fallback
+    serve, the batch flush it triggers, the resilient generator's
+    failing attempts — and every hop must land in ONE connected trace
+    that is tail-retained (degraded ⇒ flagged), stamped on the result,
+    the event log, and the latency histogram's exemplars.
+    """
+    cluster, sampler, event_log = _build(lambda i: BrokenGenerator())
+    result = cluster.handle(ServeRequest(query="unseen query"))
+    cluster.flush()
+    sampler.flush()
+
+    assert result.outcome is ServeOutcome.FALLBACK
+    assert result.trace_id is not None
+
+    analyzer = TraceAnalyzer(_tracers(cluster))
+    assert analyzer.trace_ids() == [result.trace_id]
+    assert analyzer.is_connected(result.trace_id)
+    assert sampler.decisions["flagged"] == 1
+
+    names = {node.name for node in analyzer.spans_for(result.trace_id)}
+    assert "cluster.request" in names
+    assert "serving.request" in names
+    assert "cache.fetch" in names
+    assert "serving.fallback_serve" in names
+    assert "cluster.flush" in names        # max_batch_size=1: in-request
+    assert "serving.run_batch" in names
+    assert "resilience.attempt" in names   # the failing generator calls
+    assert "resilience.backoff" in names   # ...and the retries between
+
+    # The stage breakdown accounts for exactly the charged latency.
+    breakdown = analyzer.stage_breakdown(result.trace_id)
+    assert sum(breakdown.values()) == pytest.approx(result.latency_s)
+    assert analyzer.duration_s(result.trace_id) == pytest.approx(
+        result.latency_s)
+
+    # Mid-request events carry the trace id.
+    tagged = [e for e in event_log.events()
+              if e.attrs.get(TRACE_ID_ATTR) == result.trace_id]
+    assert tagged, "no event was stamped with the trace id"
+
+    # The latency exemplar leads back to this trace.
+    exemplars = cluster._latency.exemplars()
+    assert any(trace_id == result.trace_id for _, trace_id, _ in exemplars)
+
+    # And the merged export is valid, flow links included.
+    payload = chrome_trace(_tracers(cluster))
+    validate_chrome_trace(payload)
+    flows = [e for e in payload["traceEvents"] if e["ph"] in ("s", "f")]
+    assert flows, "no cross-tracer flow events in the export"
+
+
+def test_result_trace_ids_are_deterministic_and_distinct():
+    def build():
+        return _build(lambda i: ScriptedGenerator())[0]
+
+    first = build()
+    second = build()
+    ids_a = [first.handle(f"query {i}").trace_id for i in range(3)]
+    ids_b = [second.handle(f"query {i}").trace_id for i in range(3)]
+    assert ids_a == ids_b          # same drive, same ids
+    assert len(set(ids_a)) == 3    # distinct per request
+
+
+def test_caller_supplied_context_propagates_to_the_result():
+    cluster, _, _ = _build(lambda i: ScriptedGenerator())
+    context = TraceContext("feedbeeffeedbeef")
+    result = cluster.handle(ServeRequest(query="q", trace=context))
+    assert result.trace_id == "feedbeeffeedbeef"
+
+
+def test_bare_and_traced_paths_account_identically():
+    def drive(trace_requests):
+        cluster, sampler, _ = _build(lambda i: BrokenGenerator(),
+                                     trace_requests=trace_requests)
+        for i in range(10):
+            cluster.handle(ServeRequest(query=f"query {i % 4}"))
+            cluster.clock.advance(0.01)
+        cluster.flush()
+        sampler.flush()
+        return cluster
+
+    traced, bare = drive(True), drive(False)
+    assert traced.metrics_totals() == bare.metrics_totals()
+    assert traced.availability == bare.availability
+    assert traced.percentile(99) == bare.percentile(99)
+    # Tracing off: no per-request spans, nothing trace-tagged (batch
+    # flush spans remain — they attribute async work, not requests).
+    bare_names = {s.name for s in bare.tracer.spans()}
+    assert "cluster.request" not in bare_names
+    assert all(s.trace_id is None for s in bare.tracer.spans())
+
+
+def test_untraced_requests_set_no_trace_id():
+    cluster, _, _ = _build(lambda i: ScriptedGenerator(),
+                           trace_requests=False)
+    result = cluster.handle(ServeRequest(query="q"))
+    assert result.trace_id is None

@@ -124,6 +124,61 @@ def test_cluster_rejects_bad_fault_rate(capsys):
     assert "--fault-rate" in capsys.readouterr().out
 
 
+def test_trace_artifacts_valid_and_deterministic(tmp_path, capsys):
+    import json
+
+    from repro.obs import (
+        validate_chrome_trace,
+        validate_events,
+        validate_trace_summary,
+    )
+
+    def run(tag):
+        trace = tmp_path / f"trace-{tag}.json"
+        summary = tmp_path / f"summary-{tag}.json"
+        events = tmp_path / f"events-{tag}.jsonl"
+        code = main([
+            "trace", "--seed", "5", "--replicas", "2", "--requests", "200",
+            "--n-queries", "60", "--fault-rate", "0.2",
+            "--out-trace", str(trace), "--out-summary", str(summary),
+            "--out-events", str(events),
+        ])
+        assert code == 0
+        return trace.read_bytes(), summary.read_bytes(), events.read_bytes()
+
+    first = run("a")
+    second = run("b")
+    # Simulated clocks + deterministic trace ids: byte-stable artifacts.
+    assert first == second
+
+    trace = json.loads(first[0])
+    validate_chrome_trace(trace)
+    flows = [e for e in trace["traceEvents"] if e["ph"] in ("s", "f")]
+    assert flows, "expected cross-tracer flow links in the Chrome trace"
+
+    summary = json.loads(first[1])
+    validate_trace_summary(summary)
+    assert summary["traces"], "expected retained traces in the summary"
+    assert all(t["connected"] for t in summary["traces"])
+    # Fault injection on: at least one degraded/fallback trace survives
+    # tail sampling (flagged traces are always retained).
+    assert any(t["outcome"] in ("degraded", "fallback")
+               for t in summary["traces"])
+
+    events_text = first[2].decode()
+    validate_events(events_text)
+    assert '"trace_id"' in events_text
+
+    out = capsys.readouterr().out
+    assert "tracing invariants: OK" in out
+    assert "slowest retained trace" in out
+
+
+def test_trace_rejects_bad_fault_rate(capsys):
+    assert main(["trace", "--fault-rate", "-0.1", "--requests", "1"]) == 2
+    assert "--fault-rate" in capsys.readouterr().out
+
+
 def test_monitor_chaos_fires_and_correlates_alerts(tmp_path, capsys):
     import json
 
