@@ -23,14 +23,14 @@ def architectures(bench_pipeline):
 
     results = {}
     seq2seq = bench_pipeline.cosmo_lm  # already finetuned by the pipeline
-    texts = [g.text for g in seq2seq.generate_knowledge(
-        [seq2seq.prompt_for_sample(world, s) for s in held])]
+    texts = [g.text for g in seq2seq.generate_batch(
+        [seq2seq.prompt_for_sample(world, s) for s in held]).require()]
     results["pointer seq2seq (production)"] = CosmoLM.judge_generations(world, held, texts)
 
     plain = CosmoLM(config=CosmoLMConfig(architecture="lm", epochs=12), seed=7)
     plain.finetune(bench_pipeline.instruction_dataset)
-    plain_texts = [g.text for g in plain.generate_knowledge(
-        [plain.prompt_for_sample(world, s) for s in held])]
+    plain_texts = [g.text for g in plain.generate_batch(
+        [plain.prompt_for_sample(world, s) for s in held]).require()]
     results["plain GRU LM (ablation)"] = CosmoLM.judge_generations(world, held, plain_texts)
     return results
 

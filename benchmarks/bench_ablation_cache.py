@@ -27,11 +27,11 @@ def _traffic(world, n_requests, seed):
 def _serve(lm, traffic, preload_yearly: bool, run_batches: bool, head: list[str]):
     service = CosmoService(lm, fallback_response="")
     if preload_yearly:
-        warm = {q: g.text for q, g in zip(head, lm.generate_knowledge(head))}
+        warm = {q: g.text for q, g in zip(head, lm.generate_batch(head).require())}
         service.cache.preload_yearly(warm)
     for start in range(0, len(traffic), 500):
-        for query in traffic[start : start + 500]:
-            service.serve(ServeRequest(query=query))
+        service.serve_batch(
+            [ServeRequest(query=query) for query in traffic[start : start + 500]])
         if run_batches:
             service.run_batch()
     return service

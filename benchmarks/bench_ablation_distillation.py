@@ -37,7 +37,7 @@ def distillation(bench_pipeline):
 
     before = lm.latency.total_simulated_s
     student_texts = [
-        g.text for g in lm.generate_knowledge([lm.prompt_for_sample(world, s) for s in held])
+        g.text for g in lm.generate_batch([lm.prompt_for_sample(world, s) for s in held]).require()
     ]
     student_latency = (lm.latency.total_simulated_s - before) / len(held)
 

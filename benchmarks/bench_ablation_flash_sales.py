@@ -12,7 +12,7 @@ deployment.
 import pytest
 from conftest import publish
 
-from repro.llm.interface import Generation, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, LatencyModel
 from repro.reporting import Table, format_percent
 from repro.serving import CosmoService, ServeRequest
 
@@ -25,14 +25,14 @@ class SaleAwareGenerator:
         self.parameter_count = 1_000_000
         self.sale_active = False
 
-    def generate_knowledge(self, prompts):
+    def generate_batch(self, prompts):
         suffix = "flash sale price" if self.sale_active else "regular price"
         outputs = []
         for prompt in prompts:
             latency = self.latency.charge(self.parameter_count, 6)
             outputs.append(Generation(text=f"it is used for {prompt} at {suffix}.",
                                       tokens=6, latency_s=latency))
-        return outputs
+        return GenerationBatch(generations=outputs)
 
 
 @pytest.fixture(scope="module")
@@ -40,32 +40,30 @@ def flash_sale_run():
     generator = SaleAwareGenerator()
     service = CosmoService(generator, fallback_response="")
     queries = [f"deal query {i}" for i in range(40)]
+    requests = [ServeRequest(query=query) for query in queries]
 
     # Morning: cold traffic, batch fills the cache with pre-sale responses.
-    for query in queries:
-        service.serve(ServeRequest(query=query))
+    service.serve_batch(requests)
     service.run_batch()
 
     # Midday: the flash sale starts — the *correct* response changes.
     generator.sale_active = True
     stale = fresh = 0
     for _ in range(5):
-        for query in queries:
-            response = service.serve(ServeRequest(query=query)).text
-            if "regular price" in response:
+        for result in service.serve_batch(requests):
+            if "regular price" in result.text:
                 stale += 1
-            elif "flash sale" in response:
+            elif "flash sale" in result.text:
                 fresh += 1
     sale_window_requests = stale + fresh
 
     # The daily refresh (next cycle) finally recomputes the features.
     service.clock.advance_days(1)
-    for query in queries:
-        service.serve(ServeRequest(query=query))  # daily layer cleared → misses
+    service.serve_batch(requests)  # daily layer cleared → misses
     service.run_batch()
     post_refresh_stale = sum(
-        "regular price" in service.serve(ServeRequest(query=query)).text
-        for query in queries
+        "regular price" in result.text
+        for result in service.serve_batch(requests)
     )
     return stale, sale_window_requests, post_refresh_stale, len(queries), service
 

@@ -36,7 +36,7 @@ def test_cosmo_vs_folkscope(bench_pipeline, folkscope, benchmark):
     before = lm.latency.total_simulated_s
     prompts = [lm.prompt_for_sample(bench_pipeline.world, s)
                for s in bench_pipeline.samples[:50]]
-    lm.generate_knowledge(prompts)
+    lm.generate_batch(prompts)
     cosmo_serving = (lm.latency.total_simulated_s - before) / len(prompts)
 
     table = Table("COSMO vs FolkScope (same world)",

@@ -38,13 +38,14 @@ def test_fig5_serving_deployment(bench_pipeline, benchmark, obs_registry):
     from collections import Counter
 
     head = [q for q, _ in Counter(traffic).most_common(20)]
-    warm = {q: g.text for q, g in zip(head, lm.generate_knowledge(head))}
+    warm = {q: g.text for q, g in zip(head, lm.generate_batch(head).require())}
     service.cache.preload_yearly(warm)
 
-    # A day of traffic with periodic batch processing.
+    # A day of traffic with periodic batch processing, fed through the
+    # batch-first ingress one window at a time.
     for start in range(0, len(traffic), 500):
-        for query in traffic[start : start + 500]:
-            service.serve(ServeRequest(query=query))
+        service.serve_batch(
+            [ServeRequest(query=query) for query in traffic[start : start + 500]])
         service.run_batch()
     service.daily_refresh(refresh_stale=False)
 
@@ -56,8 +57,8 @@ def test_fig5_serving_deployment(bench_pipeline, benchmark, obs_registry):
     # TeacherLLM implements KnowledgeGenerator directly — no adapter.
     teacher_service = CosmoService(TeacherLLM(world, seed=7),
                                    registry=obs_registry, name="direct")
-    for query in traffic[:25]:
-        teacher_service.serve(ServeRequest(query=query, direct=True))
+    teacher_service.serve_batch(
+        [ServeRequest(query=query, direct=True) for query in traffic[:25]])
 
     # Read the headline numbers back off the shared registry rather than
     # the service objects — what the snapshot artifact will contain.
@@ -85,7 +86,8 @@ def test_fig5_serving_deployment(bench_pipeline, benchmark, obs_registry):
     hit_rate = stats.hit_rate  # snapshot before the benchmark kernel runs
 
     # Benchmark kernel: steady-state request handling.
-    benchmark(lambda: [service.serve(ServeRequest(query=q)) for q in traffic[:200]])
+    benchmark(lambda: service.serve_batch(
+        [ServeRequest(query=q) for q in traffic[:200]]))
 
     # Shape: most traffic is served from cache at millisecond latency,
     # while direct large-model serving costs whole seconds per request.

@@ -35,7 +35,7 @@ def _knowledge_provider(bench_pipeline, world):
             product = world.catalog.get(item_id)
             prompt = lm.searchbuy_prompt(query_text, product.title, product.domain,
                                          product_type=product.product_type)
-            cache[key] = lm.generate_knowledge([prompt])[0].text
+            cache[key] = lm.generate_batch([prompt]).require()[0].text
         return cache[key]
 
     return provide

@@ -26,7 +26,7 @@ def test_table9_generation_examples(bench_pipeline, benchmark):
     world = bench_pipeline.world
     samples = _one_sample_per_domain(bench_pipeline)
     prompts = [lm.prompt_for_sample(world, s) for s in samples]
-    generations = benchmark(lm.generate_knowledge, prompts)
+    generations = benchmark(lm.generate_batch, prompts).require()
 
     table = Table("Table 9 — COSMO-LM generations per category",
                   ["Category", "Query", "Generation"])

@@ -48,13 +48,13 @@ def main() -> None:
         restored = CosmoLM.load(model_dir)
         sample = result.samples[0]
         prompt = restored.prompt_for_sample(result.world, sample)
-        print(f"Model restore: generation {restored.generate_knowledge([prompt])[0].text!r}")
+        print(f"Model restore: generation {restored.generate_batch([prompt]).require()[0].text!r}")
 
         # 3. Feedback loop: user interactions continually finetune the
         # judge head — here, repeated positive engagement teaches it to
         # accept a knowledge string it initially rejected.
         service = CosmoService(restored)
-        knowledge = restored.generate_knowledge([prompt])[0].text.rstrip(".")
+        knowledge = restored.generate_batch([prompt]).require()[0].text.rstrip(".")
         before = restored.predict_typicality(prompt, knowledge)
         for _ in range(25):
             service.record_feedback(prompt.rsplit(" task: ", 1)[0], knowledge,

@@ -82,9 +82,12 @@ def main() -> None:
         fallback_response="(pending batch)",
     )
     print(f"\nServing {query.text!r}:")
-    print(f"  cold request -> {service.serve(ServeRequest(query=query.text)).text!r}")
+    cold = service.serve_batch([ServeRequest(query=query.text)])[0]
+    print(f"  cold request -> {cold.text!r}")
     service.run_batch()
-    print(f"  after batch  -> {service.serve(ServeRequest(query=query.text)).text!r}")
+    warm = service.serve_batch([ServeRequest(query=query.text)])[0]
+    print(f"  after batch  -> {warm.text!r} "
+          f"(batch {warm.batch_id}[{warm.batch_index}])")
     print(f"  cache hit rate {service.cache.stats.hit_rate:.0%}, "
           f"feature store entries {len(service.features)}")
 

@@ -46,7 +46,7 @@ def main() -> None:
     lm = result.cosmo_lm
     fresh = [s for s in result.samples if s.behavior == "search-buy"][:5]
     prompts = [lm.prompt_for_sample(result.world, s) for s in fresh]
-    for sample, generation in zip(fresh, lm.generate_knowledge(prompts)):
+    for sample, generation in zip(fresh, lm.generate_batch(prompts).require()):
         query_text = sample.head_text.split(" ||| ")[0]
         print(f"  query {query_text!r} -> {generation.text!r}")
 

@@ -25,9 +25,10 @@ QUERIES = [f"query {i:02d}" for i in range(12)]
 
 
 def serve_round(service: CosmoService, label: str) -> None:
+    results = service.serve_batch([ServeRequest(query=q) for q in QUERIES])
     valid = sum(
-        service.serve(ServeRequest(query=q)).text == ScriptedGenerator.knowledge_for(q)
-        for q in QUERIES
+        result.text == ScriptedGenerator.knowledge_for(q)
+        for q, result in zip(QUERIES, results)
     )
     metrics = service.metrics
     print(f"  {label:28s} {valid}/{len(QUERIES)} correct | "

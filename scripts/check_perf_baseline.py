@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Perf-smoke regression gate: current sweep vs checked-in baseline.
+
+Compares the cluster-scaling sweep a benchmark run just wrote
+(``benchmarks/results/cluster_scaling.json``) against the committed
+baseline (``benchmarks/baselines/cluster_scaling.json``) and exits
+non-zero when any arm's throughput regressed by more than the tolerance
+(default 10 %).  Both files are byte-deterministic products of the
+simulated-clock sweep, so any drift is a real behavior change, not
+machine noise — the tolerance only leaves room for intentional small
+cost-model adjustments.
+
+Usage::
+
+    python scripts/check_perf_baseline.py \
+        [--results benchmarks/results/cluster_scaling.json] \
+        [--baseline benchmarks/baselines/cluster_scaling.json] \
+        [--tolerance 0.10] [--update]
+
+``--update`` rewrites the baseline from the current results instead of
+checking (for intentional perf changes; commit the diff).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS = REPO_ROOT / "benchmarks" / "results" / "cluster_scaling.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "cluster_scaling.json"
+
+
+def _arms_by_replicas(payload: dict) -> dict[int, dict]:
+    return {int(arm["replicas"]): arm for arm in payload["arms"]}
+
+
+def check(results_path: pathlib.Path, baseline_path: pathlib.Path,
+          tolerance: float) -> int:
+    results = json.loads(results_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    current = _arms_by_replicas(results)
+    expected = _arms_by_replicas(baseline)
+
+    missing = sorted(set(expected) - set(current))
+    if missing:
+        print(f"FAIL: results are missing replica arms {missing}")
+        return 1
+
+    failures = 0
+    for replicas, base_arm in sorted(expected.items()):
+        base = base_arm["throughput"]
+        now = current[replicas]["throughput"]
+        floor = base * (1.0 - tolerance)
+        delta = (now - base) / base
+        status = "ok"
+        if now < floor:
+            status = "REGRESSION"
+            failures += 1
+        print(f"{replicas} replica(s): {now:,.0f} req/s vs baseline "
+              f"{base:,.0f} req/s ({delta:+.1%}, floor {floor:,.0f}) "
+              f"[{status}]")
+    if failures:
+        print(f"FAIL: {failures} arm(s) regressed more than "
+              f"{tolerance:.0%} below baseline")
+        return 1
+    print("ok: throughput within tolerance on every arm")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", type=pathlib.Path,
+                        default=DEFAULT_RESULTS)
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional throughput drop (default 0.10)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current results")
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(f"FAIL: no results at {args.results} — "
+              "run benchmarks/bench_cluster_scaling.py first")
+        return 1
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.results, args.baseline)
+        print(f"baseline updated from {args.results}")
+        return 0
+    if not args.baseline.exists():
+        print(f"FAIL: no baseline at {args.baseline} — "
+              "run with --update to create one")
+        return 1
+    return check(args.results, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,7 +95,9 @@ def build_navigation_hierarchy(kg: KnowledgeGraph, world: World) -> NavigationHi
     products whose behaviors its knowledge edges explain.
     """
     roots: dict[str, list[IntentNode]] = {}
-    for domain in {t.domain for t in kg.triples()}:
+    # The graph's interned domain table: no full-edge scan, and a
+    # deterministic (first-appearance) domain order for the roots dict.
+    for domain in kg.domains():
         triples = kg.for_domain(domain)
         tails = {t.tail for t in triples}
         tail_types: dict[str, set[str]] = {}

@@ -124,7 +124,10 @@ def build_session_dataset(
             for query, item in zip(example.queries, example.items)
         }
         index_to_item = {index: item for item, index in item_to_index.items()}
-        for query, item in sorted(unique_pairs):
-            text = knowledge_provider(query, index_to_item[item])
-            dataset.knowledge_vectors[(query, item)] = encoder.encode(text)
+        pairs = sorted(unique_pairs)
+        texts = [knowledge_provider(query, index_to_item[item])
+                 for query, item in pairs]
+        vectors = encoder.encode_batch(texts)
+        for pair, vector in zip(pairs, vectors):
+            dataset.knowledge_vectors[pair] = vector
     return dataset

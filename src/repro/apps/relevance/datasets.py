@@ -91,7 +91,7 @@ def cosmo_knowledge_provider(cosmo_lm, world):
                     product_type=product.product_type,
                 )
             )
-        return [g.text for g in cosmo_lm.generate_knowledge(prompts)]
+        return [g.text for g in cosmo_lm.generate_batch(prompts).require()]
 
     return provide
 

@@ -81,7 +81,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
     lm = result.cosmo_lm
     prompt = lm.searchbuy_prompt(args.query, args.product_title or args.product_type,
                                  args.domain, product_type=args.product_type)
-    generation = lm.generate_knowledge([prompt])[0]
+    generation = lm.generate_batch([prompt]).require()[0]
     print(f"query:     {args.query!r}")
     print(f"product:   {args.product_type!r} ({args.domain})")
     print(f"knowledge: {generation.text!r}")

@@ -54,6 +54,8 @@ _EXPORTS = {
     "FolkScopePipeline": "repro.core.folkscope",
     "save_kg": "repro.core.kg_io",
     "load_kg": "repro.core.kg_io",
+    "save_kg_columnar": "repro.core.kg_io",
+    "load_kg_columnar": "repro.core.kg_io",
     "PipelineConfig": "repro.core.pipeline",
     "PipelineResult": "repro.core.pipeline",
 }

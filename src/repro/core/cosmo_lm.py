@@ -17,7 +17,7 @@ from repro.behavior.world import World
 from repro.core.instructions import InstructionDataset
 from repro.core.relations import parse_predicate
 from repro.core.triples import BehaviorSample
-from repro.llm.interface import Generation, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, LatencyModel
 from repro.llm.seq2seq import Seq2SeqLM
 from repro.llm.student import StudentLM
 from repro.llm.tokenizer import Tokenizer
@@ -221,11 +221,17 @@ class CosmoLM:
             f"{type_part}task: {task}"
         )
 
-    def generate_knowledge(self, prompts: list[str], max_new_tokens: int = 14) -> list[Generation]:
+    def generate_batch(self, prompts: list[str]) -> GenerationBatch:
         """Batched greedy knowledge generation — the
         :class:`~repro.llm.interface.KnowledgeGenerator` entrypoint the
         serving stack calls."""
-        return self._require_model().generate_batch(prompts, max_new_tokens=max_new_tokens)
+        return GenerationBatch(generations=list(self._require_model().decode_batch(prompts)))
+
+    def generate_knowledge(self, prompts: list[str], max_new_tokens: int = 14) -> list[Generation]:
+        """Deprecated shim over :meth:`generate_batch` (kept for
+        offline/pipeline callers; serving code must use the batch
+        entrypoint)."""
+        return self._require_model().decode_batch(prompts, max_new_tokens=max_new_tokens)
 
     def generate_reranked(
         self,
@@ -248,9 +254,9 @@ class CosmoLM:
         if not hasattr(model, "_sample_top_k"):
             raise RuntimeError("reranked generation requires the seq2seq architecture")
         rng = spawn_rng(self.seed, "rerank-sampling")
-        pools: list[list[Generation]] = [model.generate_batch(prompts)]
+        pools: list[list[Generation]] = [model.decode_batch(prompts)]
         for _ in range(max(num_candidates - 1, 0)):
-            pools.append(model.generate_batch(prompts, temperature=temperature, rng=rng))
+            pools.append(model.decode_batch(prompts, temperature=temperature, rng=rng))
         winners: list[Generation] = []
         for index, prompt in enumerate(prompts):
             body = prompt.rsplit(" task: ", 1)[0]
@@ -274,7 +280,7 @@ class CosmoLM:
 
     def knowledge_for_sample(self, world: World, sample: BehaviorSample) -> str:
         """One-call convenience: behavior sample → knowledge text."""
-        return self.generate_knowledge([self.prompt_for_sample(world, sample)])[0].text
+        return self.generate_batch([self.prompt_for_sample(world, sample)]).require()[0].text
 
     def prompt_for_sample(self, world: World, sample: BehaviorSample) -> str:
         if sample.behavior == "search-buy":

@@ -5,6 +5,17 @@ per-domain / per-behavior statistics matching the Table 3 layout, overall
 node/edge/relation counts for the Table 1 comparison, and a tail-
 hierarchy builder reproducing the Figure 8 organization (coarse intent →
 refined intents → linked product concepts).
+
+Storage is columnar: node, relation, domain and behavior strings are
+interned once into id tables, and each edge is one row across parallel
+numpy columns (head/relation/tail/domain/behavior ids, plausibility,
+typicality, support).  A lazily-built CSR index over the head column
+serves neighbor queries without scanning every edge.  The query surface
+is unchanged from the dict-backed implementation — ``triples()`` still
+returns :class:`~repro.core.triples.KnowledgeTriple` objects in first-
+insert order with identical merge semantics — the columnar form is how
+the hot path (stats, filters, neighbor lookups, (de)serialization,
+snapshot digests) avoids per-edge Python object traffic.
 """
 
 from __future__ import annotations
@@ -13,11 +24,14 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
 import networkx as nx
+import numpy as np
 
 from repro.core.relations import Relation
 from repro.core.triples import KnowledgeTriple
 
 __all__ = ["KGStats", "HierarchyNode", "KnowledgeGraph"]
+
+_INITIAL_CAPACITY = 16
 
 
 @dataclass(frozen=True)
@@ -44,78 +58,242 @@ class HierarchyNode:
         return 1 + max(child.depth() for child in self.children)
 
 
-class KnowledgeGraph:
-    """Deduplicating triple store with stats and hierarchy views."""
+class _InternTable:
+    """Append-only string ↔ dense-id table."""
+
+    __slots__ = ("_ids", "_values")
 
     def __init__(self):
-        self._triples: dict[tuple[str, str, str], KnowledgeTriple] = {}
+        self._ids: dict[str, int] = {}
+        self._values: list[str] = []
+
+    def intern(self, value: str) -> int:
+        interned = self._ids.get(value)
+        if interned is None:
+            interned = len(self._values)
+            self._ids[value] = interned
+            self._values.append(value)
+        return interned
+
+    def id_of(self, value: str) -> int | None:
+        return self._ids.get(value)
+
+    def value(self, interned: int) -> str:
+        return self._values[interned]
+
+    def values(self) -> tuple[str, ...]:
+        return tuple(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class KnowledgeGraph:
+    """Deduplicating triple store with stats and hierarchy views.
+
+    Edges live in parallel columns; heads and tails share one node id
+    table, so Table 1's node count is just the table's length (the
+    store is append-only — every interned node is referenced by at
+    least one edge).
+    """
+
+    def __init__(self):
+        self._nodes = _InternTable()
+        self._relations = _InternTable()
+        self._domains = _InternTable()
+        self._behaviors = _InternTable()
+        capacity = _INITIAL_CAPACITY
+        self._head_col = np.empty(capacity, dtype=np.int32)
+        self._rel_col = np.empty(capacity, dtype=np.int32)
+        self._tail_col = np.empty(capacity, dtype=np.int32)
+        self._domain_col = np.empty(capacity, dtype=np.int32)
+        self._behavior_col = np.empty(capacity, dtype=np.int32)
+        self._plaus_col = np.empty(capacity, dtype=np.float64)
+        self._typ_col = np.empty(capacity, dtype=np.float64)
+        self._support_col = np.empty(capacity, dtype=np.int64)
+        self._size = 0
+        #: (head id, relation id, tail id) → row, for duplicate merging.
+        self._row_of: dict[tuple[int, int, int], int] = {}
+        #: Ragged per-row provenance; stays a Python list (tuples vary
+        #: in length and are only touched at materialization time).
+        self._head_ids: list[tuple[str, ...]] = []
         # (domain, behavior) → edge count, for the Table 3 breakdown.
         self._domain_behavior_edges: Counter = Counter()
+        self._csr_order: np.ndarray | None = None
+        self._csr_offsets: np.ndarray | None = None
+        self._csr_dirty = True
 
     # ------------------------------------------------------------------
     def add(self, triple: KnowledgeTriple) -> None:
         """Insert a triple, merging support for duplicates."""
-        existing = self._triples.get(triple.key)
-        if existing is None:
-            self._triples[triple.key] = triple
-        else:
-            merged = KnowledgeTriple(
-                head=existing.head,
-                relation=existing.relation,
-                tail=existing.tail,
-                domain=existing.domain,
-                behavior=existing.behavior,
-                plausibility=max(existing.plausibility, triple.plausibility),
-                typicality=max(existing.typicality, triple.typicality),
-                support=existing.support + triple.support,
-                head_ids=existing.head_ids,
-            )
-            self._triples[triple.key] = merged
+        head_id = self._nodes.intern(triple.head)
+        rel_id = self._relations.intern(triple.relation.value)
+        tail_id = self._nodes.intern(triple.tail)
+        key = (head_id, rel_id, tail_id)
+        row = self._row_of.get(key)
+        if row is not None:
+            # Merge: best scores win, support accumulates, the first
+            # insert's provenance (head_ids) and domain/behavior stick.
+            if triple.plausibility > self._plaus_col[row]:
+                self._plaus_col[row] = triple.plausibility
+            if triple.typicality > self._typ_col[row]:
+                self._typ_col[row] = triple.typicality
+            self._support_col[row] += triple.support
             return
+        row = self._size
+        if row == len(self._head_col):
+            self._grow()
+        self._head_col[row] = head_id
+        self._rel_col[row] = rel_id
+        self._tail_col[row] = tail_id
+        self._domain_col[row] = self._domains.intern(triple.domain)
+        self._behavior_col[row] = self._behaviors.intern(triple.behavior)
+        self._plaus_col[row] = triple.plausibility
+        self._typ_col[row] = triple.typicality
+        self._support_col[row] = triple.support
+        self._head_ids.append(triple.head_ids)
+        self._row_of[key] = row
+        self._size = row + 1
         self._domain_behavior_edges[(triple.domain, triple.behavior)] += 1
+        self._csr_dirty = True
+
+    def _grow(self) -> None:
+        capacity = max(_INITIAL_CAPACITY, 2 * len(self._head_col))
+        for name in ("_head_col", "_rel_col", "_tail_col", "_domain_col",
+                     "_behavior_col", "_plaus_col", "_typ_col",
+                     "_support_col"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: self._size] = old[: self._size]
+            setattr(self, name, grown)
 
     def extend(self, triples: list[KnowledgeTriple]) -> None:
         for triple in triples:
             self.add(triple)
 
     # ------------------------------------------------------------------
+    def _triple_at(self, row: int) -> KnowledgeTriple:
+        return KnowledgeTriple(
+            head=self._nodes.value(int(self._head_col[row])),
+            relation=Relation(self._relations.value(int(self._rel_col[row]))),
+            tail=self._nodes.value(int(self._tail_col[row])),
+            domain=self._domains.value(int(self._domain_col[row])),
+            behavior=self._behaviors.value(int(self._behavior_col[row])),
+            plausibility=float(self._plaus_col[row]),
+            typicality=float(self._typ_col[row]),
+            support=int(self._support_col[row]),
+            head_ids=self._head_ids[row],
+        )
+
     def __len__(self) -> int:
-        return len(self._triples)
+        return self._size
 
     def triples(self) -> list[KnowledgeTriple]:
-        return list(self._triples.values())
+        return [self._triple_at(row) for row in range(self._size)]
 
     def tails(self) -> list[str]:
-        return sorted({t.tail for t in self._triples.values()})
+        tail_ids = np.unique(self._tail_col[: self._size])
+        return sorted(self._nodes.value(int(tail_id)) for tail_id in tail_ids)
 
     def by_relation(self, relation: Relation) -> list[KnowledgeTriple]:
-        return [t for t in self._triples.values() if t.relation == relation]
+        rel_id = self._relations.id_of(relation.value)
+        if rel_id is None:
+            return []
+        rows = np.nonzero(self._rel_col[: self._size] == rel_id)[0]
+        return [self._triple_at(int(row)) for row in rows]
 
     def for_domain(self, domain: str) -> list[KnowledgeTriple]:
-        return [t for t in self._triples.values() if t.domain == domain]
+        domain_id = self._domains.id_of(domain)
+        if domain_id is None:
+            return []
+        rows = np.nonzero(self._domain_col[: self._size] == domain_id)[0]
+        return [self._triple_at(int(row)) for row in rows]
+
+    def domains(self) -> list[str]:
+        """Distinct edge domains in first-appearance order."""
+        return list(self._domains.values())
 
     def edges_for(self, domain: str, behavior: str) -> int:
         """Table 3 cell: refined edge count per (domain, behavior)."""
         return self._domain_behavior_edges[(domain, behavior)]
 
     def stats(self) -> KGStats:
-        """Table 1 aggregates."""
-        heads = {t.head for t in self._triples.values()}
-        tails = {t.tail for t in self._triples.values()}
-        relations = {t.relation for t in self._triples.values()}
-        domains = {t.domain for t in self._triples.values()}
+        """Table 1 aggregates — table lengths, no edge scan needed."""
         return KGStats(
-            nodes=len(heads | tails),
-            edges=len(self._triples),
-            relations=len(relations),
-            domains=len(domains),
+            nodes=len(self._nodes),
+            edges=self._size,
+            relations=len(self._relations),
+            domains=len(self._domains),
         )
+
+    # ------------------------------------------------------------------
+    # Neighbor queries (CSR over the head column)
+    # ------------------------------------------------------------------
+    def _build_csr(self) -> None:
+        heads = self._head_col[: self._size]
+        self._csr_order = np.argsort(heads, kind="stable")
+        counts = np.bincount(heads, minlength=len(self._nodes))
+        self._csr_offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)))
+        self._csr_dirty = False
+
+    def _head_rows(self, head: str) -> np.ndarray:
+        node_id = self._nodes.id_of(head)
+        if node_id is None:
+            return np.empty(0, dtype=np.int64)
+        if self._csr_dirty:
+            self._build_csr()
+        start = int(self._csr_offsets[node_id])
+        end = int(self._csr_offsets[node_id + 1])
+        return self._csr_order[start:end]
+
+    def neighbors(self, head: str) -> list[KnowledgeTriple]:
+        """Every edge out of ``head``, in insertion order.
+
+        Served from the CSR index — O(degree) after an (amortized)
+        index build, instead of a full-edge scan.
+        """
+        return [self._triple_at(int(row)) for row in self._head_rows(head)]
+
+    def tails_of(self, head: str) -> list[str]:
+        """Sorted distinct tails reachable from ``head`` in one hop."""
+        rows = self._head_rows(head)
+        if rows.size == 0:
+            return []
+        tail_ids = np.unique(self._tail_col[rows])
+        return sorted(self._nodes.value(int(tail_id)) for tail_id in tail_ids)
+
+    # ------------------------------------------------------------------
+    def columns(self) -> dict:
+        """Read-only view of the columnar form.
+
+        Arrays are trimmed views over the live columns (callers must not
+        mutate them); the id tables come along as string tuples.  This
+        is the zero-copy surface :mod:`repro.core.kg_io` serializes and
+        :mod:`repro.refresh.snapshot` content-addresses.
+        """
+        n = self._size
+        return {
+            "head": self._head_col[:n],
+            "relation": self._rel_col[:n],
+            "tail": self._tail_col[:n],
+            "domain": self._domain_col[:n],
+            "behavior": self._behavior_col[:n],
+            "plausibility": self._plaus_col[:n],
+            "typicality": self._typ_col[:n],
+            "support": self._support_col[:n],
+            "nodes": self._nodes.values(),
+            "relations": self._relations.values(),
+            "domains": self._domains.values(),
+            "behaviors": self._behaviors.values(),
+            "head_ids": tuple(self._head_ids),
+        }
 
     # ------------------------------------------------------------------
     def to_networkx(self) -> nx.MultiDiGraph:
         """Export as a labeled multigraph for downstream analysis."""
         graph = nx.MultiDiGraph()
-        for triple in self._triples.values():
+        for triple in self.triples():
             graph.add_node(triple.head, kind="head")
             graph.add_node(triple.tail, kind="tail")
             graph.add_edge(

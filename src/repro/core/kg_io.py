@@ -1,9 +1,16 @@
-"""Knowledge-graph persistence: JSON Lines serialization.
+"""Knowledge-graph persistence: JSON Lines and columnar serialization.
 
 The production system materializes the KG for downstream consumers; this
 module provides the equivalent dump/load so a built graph can be shipped
-without re-running the pipeline.  One JSON object per line keeps files
-streamable and diff-friendly at millions of edges.
+without re-running the pipeline.  Two formats:
+
+* **JSON Lines** (:func:`save_kg` / :func:`load_kg`) — one JSON object
+  per line, streamable and diff-friendly; the interchange format.
+* **Columnar npz** (:func:`save_kg_columnar` / :func:`load_kg_columnar`)
+  — the graph's columnar form (id columns + intern tables) written
+  directly, no per-edge JSON traffic; loading reconstructs the columns
+  wholesale instead of re-interning edge by edge.  The hot-path format
+  for snapshots and large graphs.
 """
 
 from __future__ import annotations
@@ -11,13 +18,27 @@ from __future__ import annotations
 import json
 import pathlib
 
+import numpy as np
+
 from repro.core.kg import KnowledgeGraph
 from repro.core.relations import Relation
 from repro.core.triples import KnowledgeTriple
 
-__all__ = ["save_kg", "load_kg", "triple_to_record", "record_to_triple"]
+__all__ = [
+    "save_kg",
+    "load_kg",
+    "save_kg_columnar",
+    "load_kg_columnar",
+    "triple_to_record",
+    "record_to_triple",
+]
 
 _FORMAT_VERSION = 1
+_COLUMNAR_FORMAT = "cosmo-kg-columnar"
+_COLUMNAR_VERSION = 1
+_NUMERIC_COLUMNS = ("head", "relation", "tail", "domain", "behavior",
+                    "plausibility", "typicality", "support")
+_TABLE_COLUMNS = ("nodes", "relations", "domains", "behaviors")
 
 
 def triple_to_record(triple: KnowledgeTriple) -> dict:
@@ -91,4 +112,72 @@ def load_kg(path: str | pathlib.Path) -> KnowledgeGraph:
             count += 1
     if expected is not None and count != expected:
         raise ValueError(f"{path}: header promises {expected} edges, found {count}")
+    return kg
+
+
+def save_kg_columnar(kg: KnowledgeGraph, path: str | pathlib.Path) -> int:
+    """Write the KG's columnar form as a compressed npz archive.
+
+    The numeric columns are stored as-is; the intern tables as unicode
+    arrays; the ragged per-edge provenance (``head_ids``) as a flat
+    value array plus per-edge lengths.  Returns the edge count.
+    """
+    path = pathlib.Path(path)
+    cols = kg.columns()
+    head_ids = cols["head_ids"]
+    lengths = np.array([len(ids) for ids in head_ids], dtype=np.int32)
+    flat = [value for ids in head_ids for value in ids]
+    payload = {name: cols[name] for name in _NUMERIC_COLUMNS}
+    payload.update({
+        name: np.array(cols[name], dtype=np.str_) for name in _TABLE_COLUMNS
+    })
+    payload["head_ids_len"] = lengths
+    payload["head_ids_flat"] = np.array(flat, dtype=np.str_)
+    payload["format"] = np.array(_COLUMNAR_FORMAT)
+    payload["version"] = np.array(_COLUMNAR_VERSION, dtype=np.int64)
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **payload)
+    return len(kg)
+
+
+def load_kg_columnar(path: str | pathlib.Path) -> KnowledgeGraph:
+    """Load a KG previously written by :func:`save_kg_columnar`.
+
+    Edges are replayed through :meth:`KnowledgeGraph.add` in row order
+    — identical merge/stats bookkeeping, one code path to trust — with
+    strings resolved through the stored intern tables.
+    """
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "format" not in archive or str(archive["format"]) != _COLUMNAR_FORMAT:
+            raise ValueError(f"{path}: not a {_COLUMNAR_FORMAT} file")
+        if int(archive["version"]) != _COLUMNAR_VERSION:
+            raise ValueError(
+                f"{path}: unsupported columnar version {int(archive['version'])} "
+                f"(expected {_COLUMNAR_VERSION})"
+            )
+        columns = {name: archive[name] for name in _NUMERIC_COLUMNS}
+        tables = {name: [str(value) for value in archive[name]]
+                  for name in _TABLE_COLUMNS}
+        lengths = archive["head_ids_len"]
+        flat = [str(value) for value in archive["head_ids_flat"]]
+    if int(np.sum(lengths)) != len(flat):
+        raise ValueError(f"{path}: head_ids lengths disagree with flat values")
+    kg = KnowledgeGraph()
+    cursor = 0
+    for row in range(len(columns["head"])):
+        count = int(lengths[row])
+        head_ids = tuple(flat[cursor:cursor + count])
+        cursor += count
+        kg.add(KnowledgeTriple(
+            head=tables["nodes"][int(columns["head"][row])],
+            relation=Relation(tables["relations"][int(columns["relation"][row])]),
+            tail=tables["nodes"][int(columns["tail"][row])],
+            domain=tables["domains"][int(columns["domain"][row])],
+            behavior=tables["behaviors"][int(columns["behavior"][row])],
+            plausibility=float(columns["plausibility"][row]),
+            typicality=float(columns["typicality"][row]),
+            support=int(columns["support"][row]),
+            head_ids=head_ids,
+        ))
     return kg

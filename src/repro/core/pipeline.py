@@ -333,7 +333,7 @@ class CosmoPipeline:
         for start in range(0, len(samples), chunk):
             batch = samples[start : start + chunk]
             prompts = [cosmo_lm.prompt_for_sample(world, s) for s in batch]
-            generations = cosmo_lm.generate_knowledge(prompts)
+            generations = cosmo_lm.generate_batch(prompts).require()
             candidates = []
             for sample, generation in zip(batch, generations):
                 parsed = parse_predicate(generation.text)

@@ -52,8 +52,35 @@ class TextEncoder:
         return dense
 
     def encode_batch(self, texts: list[str]) -> np.ndarray:
-        """Encode many texts; returns an (n, dim) matrix."""
-        return np.stack([self.encode(text) for text in texts]) if texts else np.zeros((0, self.dim))
+        """Encode many texts; returns an (n, dim) matrix.
+
+        Uncached texts are encoded through one stacked projection
+        (matrix–matrix instead of ``n`` vector–matrix products); cache
+        hits are reused as-is.  Row values can differ from sequential
+        :meth:`encode` calls only by floating-point summation order —
+        direction and norms are the same.
+        """
+        if not texts:
+            return np.zeros((0, self.dim))
+        rows: list[np.ndarray | None] = [self._cache.get(text) for text in texts]
+        missing = [index for index, row in enumerate(rows) if row is None]
+        if missing:
+            # Distinct misses only: duplicate texts project once.
+            order: dict[str, int] = {}
+            for index in missing:
+                order.setdefault(texts[index], len(order))
+            bows = np.stack([hashed_bow(text, buckets=self.buckets)
+                             for text in order])
+            dense = bows @ self._projection
+            norms = np.linalg.norm(dense, axis=1, keepdims=True)
+            dense = dense / np.where(norms > 0, norms, 1.0)
+            for text, row in zip(order, dense):
+                if len(self._cache) >= self._cache_size:
+                    self._cache.clear()
+                self._cache[text] = row
+            for index in missing:
+                rows[index] = self._cache[texts[index]]
+        return np.stack(rows)
 
     def similarity(self, text_a: str, text_b: str) -> float:
         """Cosine similarity in embedding space (Eq. 1)."""

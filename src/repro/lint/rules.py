@@ -23,6 +23,7 @@ __all__ = [
     "MutableDefaultRule",
     "OverbroadExceptRule",
     "FloatEqualityRule",
+    "BatchEntrypointOnlyRule",
     "AllConsistencyRule",
     "EventLogOnlyRule",
     "SnapshotBuilderOnlyRule",
@@ -432,6 +433,57 @@ class TraceIdContractRule(LintRule):
                         "EventLog.trace_scope under the sanctioned "
                         "obs.tracing.TRACE_ID_ATTR key",
                     )
+        self.generic_visit(node)
+
+
+@register
+class BatchEntrypointOnlyRule(LintRule):
+    """Serving hot paths must call generators through ``generate_batch``,
+    never the per-item ``generate``/``generate_knowledge`` surfaces.
+
+    The batch-first serving redesign (DESIGN.md §13) makes one vectorized
+    ``generate_batch`` call per flush/window the *only* way serving code
+    reaches a generator: per-item calls re-introduce the N-sequential-
+    charges cost model that capped a replica near 500 req/s, and they
+    bypass the :class:`~repro.llm.interface.GenerationBatch` accounting
+    (attempts, retries, breaker refusals) the resilience layer reports.
+    ``generate_knowledge`` survives only as a deprecated shim for
+    out-of-tree callers — in-tree serving code must not call it.  A file
+    that must keep a compatibility call site goes on ``allowlist``.
+    """
+
+    id = "batch-entrypoint-only"
+    summary = ("serving code calls generators via generate_batch, never "
+               "per-item generate/generate_knowledge")
+    invariant = ("one amortized generator charge per flush/window "
+                 "(the batch-first serving cost model)")
+
+    #: ``/``-separated path suffixes where per-item generator calls are
+    #: tolerated (none today; shims *define* generate_knowledge but must
+    #: delegate to generate_batch, which this rule permits).
+    allowlist: ClassVar[tuple[str, ...]] = ()
+
+    _BANNED_METHODS = ("generate", "generate_knowledge")
+
+    @classmethod
+    def applies_to(cls, context: FileContext) -> bool:
+        if "serving" not in context.parts[:-1]:
+            return False
+        for entry in cls.allowlist:
+            suffix = tuple(entry.split("/"))
+            if context.parts[-len(suffix):] == suffix:
+                return False
+        return True
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in self._BANNED_METHODS:
+            self.report(
+                node,
+                f"per-item .{func.attr}() call in a serving module; route "
+                "generator work through generate_batch() so the flush/window "
+                "is charged one amortized batch, not per-item latency",
+            )
         self.generic_visit(node)
 
 

@@ -15,6 +15,7 @@ from typing import Protocol, runtime_checkable
 __all__ = [
     "GenerationTruth",
     "Generation",
+    "GenerationBatch",
     "LanguageModel",
     "KnowledgeGenerator",
     "LatencyModel",
@@ -45,6 +46,48 @@ class Generation:
     truth: GenerationTruth | None = None
 
 
+@dataclass
+class GenerationBatch:
+    """Per-prompt result of one batched generation call.
+
+    The unified result type of the ``generate_batch`` protocol method:
+    raw models return all-successful batches (``attempts == 1``, every
+    slot filled), while the resilience layer fills in retry accounting
+    and leaves ``None`` in the slots whose prompts exhausted their
+    budget.  ``breaker_refused`` marks a batch the circuit breaker
+    turned away before any attempt ran.
+    """
+
+    generations: list[Generation | None]
+    attempts: int = 1
+    retries: int = 0
+    errors: int = 0
+    rejected: int = 0
+    breaker_refused: bool = False
+    wait_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.generations)
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return [i for i, g in enumerate(self.generations) if g is None]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_indices
+
+    def require(self) -> list[Generation]:
+        """The generations, asserting every prompt succeeded."""
+        failed = self.failed_indices
+        if failed:
+            raise RuntimeError(
+                f"{len(failed)}/{len(self.generations)} prompts failed "
+                f"after {self.attempts} attempts"
+            )
+        return [g for g in self.generations if g is not None]
+
+
 class LanguageModel(Protocol):
     """Anything that can continue a prompt."""
 
@@ -60,18 +103,21 @@ class LanguageModel(Protocol):
 class KnowledgeGenerator(Protocol):
     """The serving-facing generation surface.
 
-    ``generate_knowledge(prompts)`` is the *sole* entrypoint the serving
-    stack (``CosmoService``, ``ResilientGenerator``, ``FlakyGenerator``,
-    ``CosmoCluster``) calls; the per-model ``generate`` /
-    ``generate_batch`` methods are decoding internals and deprecated as
-    serving entrypoints.  Implementations must also expose a ``latency``
-    :class:`LatencyModel` (simulated-seconds accounting) — not part of
-    the runtime check because data members cannot be runtime-checked on
-    every supported Python version, but required by every caller.
+    ``generate_batch(prompts) -> GenerationBatch`` is the *sole*
+    entrypoint the serving stack (``CosmoService``,
+    ``ResilientGenerator``, ``FlakyGenerator``, ``CosmoCluster``) calls;
+    the per-model ``generate`` / ``decode_batch`` methods are decoding
+    internals, and ``generate_knowledge`` survives only as a deprecated
+    thin shim over ``generate_batch`` (the tombstone test pins that no
+    in-repo serving code calls it).  Implementations must also expose a
+    ``latency`` :class:`LatencyModel` (simulated-seconds accounting) —
+    not part of the runtime check because data members cannot be
+    runtime-checked on every supported Python version, but required by
+    every caller.
     """
 
-    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
-        """Answer a batch of prompts, one :class:`Generation` each."""
+    def generate_batch(self, prompts: list[str]) -> "GenerationBatch":
+        """Answer a batch of prompts, one slot per prompt."""
         ...  # pragma: no cover
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.llm.interface import Generation, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, LatencyModel
 from repro.llm.tokenizer import Tokenizer
 from repro.nn import (
     GRU,
@@ -243,7 +243,7 @@ class Seq2SeqLM(Module):
             next_ids[row] = top[int(rng.choice(top_k, p=weights))]
         return next_ids
 
-    def generate_batch(
+    def decode_batch(
         self,
         prompts: list[str],
         max_new_tokens: int = 14,
@@ -251,7 +251,8 @@ class Seq2SeqLM(Module):
         top_k: int = 8,
         rng: np.random.Generator | None = None,
     ) -> list[Generation]:
-        """Pointer-attention decoding for a batch of prompts.
+        """Pointer-attention decoding for a batch of prompts (decoding
+        internal).
 
         ``temperature == 0`` is greedy; a positive temperature samples
         from the top-``top_k`` renormalized distribution (used by
@@ -301,17 +302,23 @@ class Seq2SeqLM(Module):
             )
         return outputs
 
+    def generate_batch(self, prompts: list[str]) -> GenerationBatch:
+        """:class:`~repro.llm.interface.KnowledgeGenerator` entrypoint."""
+        return GenerationBatch(generations=list(self.decode_batch(prompts)))
+
     def generate_knowledge(self, prompts: list[str],
                            max_new_tokens: int = 14) -> list[Generation]:
-        """:class:`~repro.llm.interface.KnowledgeGenerator` entrypoint."""
-        return self.generate_batch(prompts, max_new_tokens=max_new_tokens)
+        """Deprecated shim over :meth:`generate_batch` (kept for
+        offline/pipeline callers; serving code must use the batch
+        entrypoint — the tombstone test pins this)."""
+        return self.decode_batch(prompts, max_new_tokens=max_new_tokens)
 
     def generate(self, prompt: str, num_candidates: int = 1) -> list[Generation]:
         """Protocol-compatible single-prompt generation.
 
-        Decoding internal; serving callers use :meth:`generate_knowledge`.
+        Decoding internal; serving callers use :meth:`generate_batch`.
         """
-        return [self.generate_batch([prompt])[0] for _ in range(num_candidates)]
+        return [self.decode_batch([prompt])[0] for _ in range(num_candidates)]
 
     # ------------------------------------------------------------------
     def sequence_logprob(self, prompt: str, target: str) -> float:

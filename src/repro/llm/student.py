@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.llm.interface import Generation, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, LatencyModel
 from repro.llm.tokenizer import Tokenizer
 from repro.nn import GRU, Adam, Embedding, Linear, Module, Tensor, clip_grad_norm, cross_entropy, no_grad
 from repro.nn.functional import log_softmax
@@ -132,8 +132,8 @@ class StudentLM(Module):
         _, state = self.gru(embedded, mask=mask)
         return state
 
-    def generate_batch(self, prompts: list[str], max_new_tokens: int = 14) -> list[Generation]:
-        """Greedy decode for a batch of prompts.
+    def decode_batch(self, prompts: list[str], max_new_tokens: int = 14) -> list[Generation]:
+        """Greedy decode for a batch of prompts (decoding internal).
 
         The primed state has already consumed ``<sep>``, so the first
         prediction reads directly off that state; each subsequent step
@@ -173,17 +173,23 @@ class StudentLM(Module):
             )
         return outputs
 
+    def generate_batch(self, prompts: list[str]) -> GenerationBatch:
+        """:class:`~repro.llm.interface.KnowledgeGenerator` entrypoint."""
+        return GenerationBatch(generations=list(self.decode_batch(prompts)))
+
     def generate_knowledge(self, prompts: list[str],
                            max_new_tokens: int = 14) -> list[Generation]:
-        """:class:`~repro.llm.interface.KnowledgeGenerator` entrypoint."""
-        return self.generate_batch(prompts, max_new_tokens=max_new_tokens)
+        """Deprecated shim over :meth:`generate_batch` (kept for
+        offline/pipeline callers; serving code must use the batch
+        entrypoint — the tombstone test pins this)."""
+        return self.decode_batch(prompts, max_new_tokens=max_new_tokens)
 
     def generate(self, prompt: str, num_candidates: int = 1) -> list[Generation]:
         """Protocol-compatible single-prompt generation (greedy).
 
-        Decoding internal; serving callers use :meth:`generate_knowledge`.
+        Decoding internal; serving callers use :meth:`generate_batch`.
         """
-        return [self.generate_batch([prompt])[0] for _ in range(num_candidates)]
+        return [self.decode_batch([prompt])[0] for _ in range(num_candidates)]
 
     def sequence_logprob(self, prompt: str, target: str) -> float:
         """Log probability of ``target`` given ``prompt`` (label scoring)."""

@@ -19,7 +19,7 @@ from repro.behavior.world import World
 from repro.catalog.vocab import GENERIC_TAILS
 from repro.core.prompts import BehaviorPrompt
 from repro.core.relations import RELATION_SPECS, Relation, verbalize
-from repro.llm.interface import Generation, GenerationTruth, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, GenerationTruth, LatencyModel
 from repro.utils.rng import spawn_rng
 from repro.utils.textproc import tokenize_words
 
@@ -83,14 +83,20 @@ class TeacherLLM:
             )
         return outputs
 
-    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
+    def generate_batch(self, prompts: list[str]) -> GenerationBatch:
         """:class:`~repro.llm.interface.KnowledgeGenerator` entrypoint.
 
         Lets the serving bench mount the raw teacher behind
         :class:`~repro.serving.deployment.CosmoService` without an
         adapter — the expensive comparison arm of Figure 5.
         """
-        return [self.generate(prompt)[0] for prompt in prompts]
+        return GenerationBatch(
+            generations=[self.generate(prompt)[0] for prompt in prompts]
+        )
+
+    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
+        """Deprecated shim over :meth:`generate_batch`."""
+        return self.generate_batch(prompts).require()
 
     def generate(self, prompt: str, num_candidates: int = 1) -> list[Generation]:
         """Protocol-compatible raw continuation (demo / probing use)."""

@@ -43,6 +43,7 @@ from repro.refresh.snapshot import (
     SnapshotManifest,
     SnapshotStore,
     build_snapshot,
+    columnar_digest,
 )
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "KgSnapshot",
     "SnapshotStore",
     "build_snapshot",
+    "columnar_digest",
     "RefreshConfig",
     "RefreshReport",
     "KnowledgeRefresher",

@@ -167,7 +167,8 @@ class KnowledgeRefresher:
         graph.extend([_to_triple(c) for c in kept])
 
         child = build_snapshot(entries, graph.triples(), parent=parent,
-                               note=f"refresh round {self.rounds}")
+                               note=f"refresh round {self.rounds}",
+                               graph=graph)
         report = RefreshReport(
             round_index=self.rounds,
             parent_version=parent.version,

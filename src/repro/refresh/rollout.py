@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.llm.interface import Generation, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, LatencyModel
 from repro.obs.slo import Alert, BurnRateRule, MetricSum, SloEvaluator, SloSpec
 from repro.serving.api import ServeOutcome, ServeResult
 from repro.serving.cluster import CosmoCluster
@@ -67,13 +67,17 @@ class SnapshotGenerator:
         """The atomic-swap hook :meth:`CosmoService.swap_snapshot` calls."""
         self.snapshot = snapshot
 
-    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
-        outputs = []
+    def generate_batch(self, prompts: list[str]) -> GenerationBatch:
+        outputs: list[Generation | None] = []
         for prompt in prompts:
             latency = self.latency.charge(self.parameter_count, 10)
             text = self.snapshot.entries.get(prompt, "")
             outputs.append(Generation(text=text, tokens=10, latency_s=latency))
-        return outputs
+        return GenerationBatch(generations=outputs)
+
+    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
+        """Deprecated shim over :meth:`generate_batch`."""
+        return self.generate_batch(prompts).require()
 
 
 def rollout_slo_specs(

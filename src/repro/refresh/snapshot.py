@@ -28,7 +28,13 @@ from typing import Iterable, Mapping
 
 from repro.core.triples import KnowledgeTriple
 
-__all__ = ["SnapshotManifest", "KgSnapshot", "SnapshotStore", "build_snapshot"]
+__all__ = [
+    "SnapshotManifest",
+    "KgSnapshot",
+    "SnapshotStore",
+    "build_snapshot",
+    "columnar_digest",
+]
 
 #: Construction capability for :class:`KgSnapshot`; owned by
 #: :func:`build_snapshot`.
@@ -51,6 +57,14 @@ class SnapshotManifest:
     entry_count: int
     triple_count: int
     note: str = ""
+    #: BLAKE2b digest of the backing graph's columnar arrays (see
+    #: :func:`columnar_digest`); "" when the snapshot was built without
+    #: one.  Like ``note`` it is **not** hashed into ``checksum`` —
+    #: versions are addressed by logical content (the triples), and an
+    #: alternate physical encoding of the same content must not
+    #: re-version the snapshot.  The digest is an integrity witness for
+    #: serialized column archives, not part of the identity.
+    columnar_digest: str = ""
 
     def as_dict(self) -> dict:
         return {
@@ -60,6 +74,7 @@ class SnapshotManifest:
             "entry_count": self.entry_count,
             "triple_count": self.triple_count,
             "note": self.note,
+            "columnar_digest": self.columnar_digest,
         }
 
 
@@ -134,18 +149,52 @@ def _checksum(parent: str | None, entries: Mapping[str, str],
     return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
 
+def columnar_digest(graph) -> str:
+    """BLAKE2b digest of a :class:`~repro.core.kg.KnowledgeGraph`'s
+    columnar arrays — the content address of the *physical* columns.
+
+    Hashes every numeric column's raw bytes plus the intern tables (and
+    the ragged provenance), so any bit difference in the arrays a
+    columnar archive would serialize yields a different digest.  Used to
+    pin a snapshot manifest to the exact column bytes it shipped with.
+    """
+    import numpy as np  # local: refresh must stay importable without a graph
+
+    cols = graph.columns()
+    digest = hashlib.blake2b(digest_size=16)
+    for name in ("head", "relation", "tail", "domain", "behavior",
+                 "plausibility", "typicality", "support"):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(cols[name]).tobytes())
+    for name in ("nodes", "relations", "domains", "behaviors"):
+        digest.update(name.encode("utf-8"))
+        digest.update("\x00".join(cols[name]).encode("utf-8"))
+    digest.update(b"head_ids")
+    digest.update(json.dumps([list(ids) for ids in cols["head_ids"]],
+                             separators=(",", ":")).encode("utf-8"))
+    return digest.hexdigest()
+
+
 def build_snapshot(
     entries: Mapping[str, str],
     triples: Iterable[KnowledgeTriple] = (),
     parent: KgSnapshot | None = None,
     note: str = "",
+    graph=None,
 ) -> KgSnapshot:
     """The sole constructor of :class:`KgSnapshot`.
 
     Copies ``entries`` and ``triples``, computes the content checksum
     and derives the version id from it.  ``parent`` links lineage: the
     rollout controller rolls back to ``snapshot.parent`` by version.
+    Passing the backing :class:`~repro.core.kg.KnowledgeGraph` as
+    ``graph`` stamps the manifest with its :func:`columnar_digest`
+    (and defaults ``triples`` to the graph's edges when none are given)
+    — the version itself is unaffected, see
+    :attr:`SnapshotManifest.columnar_digest`.
     """
+    if graph is not None and not triples:
+        triples = graph.triples()
     frozen_triples = tuple(triples)
     parent_version = parent.version if parent is not None else None
     checksum = _checksum(parent_version, entries, frozen_triples)
@@ -156,6 +205,7 @@ def build_snapshot(
         entry_count=len(entries),
         triple_count=len(frozen_triples),
         note=note,
+        columnar_digest="" if graph is None else columnar_digest(graph),
     )
     return KgSnapshot(manifest, entries, frozen_triples, token=_BUILDER_TOKEN)
 

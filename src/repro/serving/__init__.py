@@ -9,7 +9,12 @@ from repro.serving.api import (
 from repro.serving.cache import AsyncCacheStore, CacheStats
 from repro.serving.clock import SimClock
 from repro.serving.cluster import AdaptiveBatchScheduler, ClusterConfig, CosmoCluster
-from repro.serving.deployment import CosmoService, DeadLetter, ServingMetrics
+from repro.serving.deployment import (
+    BatchCostModel,
+    CosmoService,
+    DeadLetter,
+    ServingMetrics,
+)
 from repro.serving.faults import (
     FaultInjector,
     FaultPlan,
@@ -44,6 +49,7 @@ __all__ = [
     "CacheStats",
     "FeatureStore",
     "FeatureRecord",
+    "BatchCostModel",
     "CosmoService",
     "ServingMetrics",
     "DeadLetter",

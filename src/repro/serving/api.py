@@ -16,14 +16,15 @@ deprecated in favor of it and have since been removed):
   layer of the degradation chain produced the text), simulated latency,
   and the id of the replica that served it.
 
-``CosmoService.serve`` is the sole entrypoint;
-:class:`~repro.serving.cluster.CosmoCluster` consumes only the
-structured surface.
+``CosmoService.serve`` / ``CosmoService.serve_batch`` are the
+entrypoints; :class:`~repro.serving.cluster.CosmoCluster` consumes only
+the structured surface (``handle`` / ``handle_batch``).
 
 The generation side of the contract is
 :class:`~repro.llm.interface.KnowledgeGenerator` (re-exported here):
-``generate_knowledge(prompts) -> [Generation]`` is the sole
-serving-facing generator entrypoint.
+``generate_batch(prompts) -> GenerationBatch`` is the sole
+serving-facing generator entrypoint (``generate_knowledge`` survives
+only as a deprecated shim for offline callers).
 """
 
 from __future__ import annotations
@@ -102,6 +103,12 @@ class ServeResult:
     caller holding a slow result can pull the matching trace out of a
     :class:`~repro.obs.trace_query.TraceAnalyzer` or a latency-histogram
     exemplar.
+
+    ``batch_id`` / ``batch_index`` attribute the result to its serving
+    batch: ``serve_batch`` stamps every result with the flush's batch id
+    and the request's position inside it, so traces and histogram
+    exemplars can locate one item's latency inside a vectorized flush.
+    Both stay ``None`` on the per-item ``serve`` path.
     """
 
     query: str
@@ -111,6 +118,8 @@ class ServeResult:
     latency_s: float
     replica: str
     trace_id: str | None = None
+    batch_id: str | None = None
+    batch_index: int | None = None
 
     @property
     def served(self) -> bool:

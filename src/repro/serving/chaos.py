@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.llm.interface import Generation, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, LatencyModel
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S, Histogram
 from repro.serving.api import ServeRequest
 from repro.serving.clock import SimClock
@@ -47,14 +47,18 @@ class ScriptedGenerator:
     def knowledge_for(prompt: str) -> str:
         return f"it is used for {prompt}."
 
-    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
-        outputs = []
+    def generate_batch(self, prompts: list[str]) -> GenerationBatch:
+        outputs: list[Generation | None] = []
         for prompt in prompts:
             latency = self.latency.charge(self.parameter_count, 10)
             outputs.append(
                 Generation(text=self.knowledge_for(prompt), tokens=10, latency_s=latency)
             )
-        return outputs
+        return GenerationBatch(generations=outputs)
+
+    def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
+        """Deprecated shim over :meth:`generate_batch`."""
+        return self.generate_batch(prompts).require()
 
 
 def _response_ok(text: str) -> bool:

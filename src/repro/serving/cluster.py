@@ -35,6 +35,7 @@ Everything is deterministic: same seed, same traffic, same bytes out.
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
@@ -118,6 +119,15 @@ class AdaptiveBatchScheduler:
     *oldest* pending miss has waited ``max_batch_delay_s`` ("deadline"
     trigger — bounded staleness even on a cold shard).  The scheduler
     only tracks timestamps; the cluster owns the actual flush.
+
+    The scheduler keeps one enqueue tick per pending item (a deque,
+    oldest first — matching the cache's oldest-first flush order), so
+    the deadline trigger always measures the surviving oldest item's
+    *own* wait.  Two historical bugs this fixes: items enqueued
+    mid-window used to inherit the window's first timestamp, and items
+    left over after a partial flush were re-stamped at the flush tick —
+    both under-charged queueing delay and could stretch a mid-window
+    item's staleness to nearly twice ``max_batch_delay_s``.
     """
 
     def __init__(self, max_batch_size: int = 32, max_batch_delay_s: float = 30.0):
@@ -127,28 +137,64 @@ class AdaptiveBatchScheduler:
             raise ValueError("max_batch_delay_s must be positive")
         self.max_batch_size = max_batch_size
         self.max_batch_delay_s = max_batch_delay_s
-        self._first_pending: dict[str, float] = {}
+        #: replica → enqueue tick of each still-pending item, oldest first.
+        self._pending_since: dict[str, deque[float]] = {}
 
-    def note_pending(self, replica: str, now: float) -> None:
-        """Record that ``replica`` has pending work as of ``now`` (the
-        timestamp only sticks for the window's *first* miss)."""
-        self._first_pending.setdefault(replica, now)
+    def note_pending(self, replica: str, now: float,
+                     pending: int | None = None) -> None:
+        """Record that ``replica`` has pending work as of ``now``.
+
+        With ``pending`` given, the tracked ticks are synchronized to
+        that queue length: shrinkage pops the oldest ticks (the cache
+        processes oldest-first), growth stamps each new item ``now``.
+        Without it, only the window's first item is stamped (the
+        pre-per-item-bookkeeping behavior, kept for callers that track
+        a single deadline window by hand).
+        """
+        ticks = self._pending_since.setdefault(replica, deque())
+        if pending is None:
+            if not ticks:
+                ticks.append(now)
+            return
+        while len(ticks) > pending:
+            ticks.popleft()
+        while len(ticks) < pending:
+            ticks.append(now)
+
+    def oldest_wait_s(self, replica: str, now: float) -> float:
+        """How long the replica's oldest pending item has waited."""
+        ticks = self._pending_since.get(replica)
+        if not ticks:
+            return 0.0
+        return now - ticks[0]
 
     def should_flush(self, replica: str, pending: int, now: float) -> str | None:
         """The trigger that fires for this queue state, if any."""
         if pending <= 0:
-            self._first_pending.pop(replica, None)
+            self._pending_since.pop(replica, None)
             return None
         if pending >= self.max_batch_size:
             return "size"
-        first = self._first_pending.get(replica)
-        if first is not None and now - first >= self.max_batch_delay_s:
+        ticks = self._pending_since.get(replica)
+        if ticks and now - ticks[0] >= self.max_batch_delay_s:
             return "deadline"
         return None
 
-    def flushed(self, replica: str) -> None:
-        """Reset the deadline window after a flush."""
-        self._first_pending.pop(replica, None)
+    def flushed(self, replica: str, remaining: int = 0) -> None:
+        """Drop the flushed (oldest) items' ticks after a flush.
+
+        ``remaining`` is the queue length the flush left behind; the
+        survivors keep their original enqueue ticks so the next deadline
+        check charges their full wait (default 0 — the flush drained the
+        queue).
+        """
+        ticks = self._pending_since.get(replica)
+        if ticks is None:
+            return
+        while len(ticks) > remaining:
+            ticks.popleft()
+        if not ticks:
+            self._pending_since.pop(replica, None)
 
 
 class CosmoCluster:
@@ -207,6 +253,7 @@ class CosmoCluster:
             max_batch_size=cfg.max_batch_size,
             max_batch_delay_s=cfg.max_batch_delay_s,
         )
+        self._batch_seq = 0
         self.services: dict[str, CosmoService] = {}
         for index, replica_id in enumerate(replica_ids):
             replica_clock = self.clock.fork()
@@ -375,6 +422,90 @@ class CosmoCluster:
             )
         return replace(result, latency_s=end_to_end)
 
+    def handle_batch(self, requests: list[ServeRequest | str],
+                     batch_id: str | None = None) -> list[ServeResult]:
+        """Serve one arrival window of requests through the cluster.
+
+        The batch-first ingress: every request in the window shares one
+        arrival tick (the cluster clock's ``now()`` — the driver
+        advances it between windows), the admission-control shed
+        decision is sampled once at that tick, and requests are routed
+        then served **grouped by home replica** — each group goes down
+        in a single :meth:`~repro.serving.deployment.CosmoService.serve_batch`
+        call, so a replica built with a
+        :class:`~repro.serving.deployment.BatchCostModel` charges one
+        amortized window instead of ``len(group)`` sequential serves.
+
+        Results come back in request order.  ``latency_s`` is end-to-end
+        (shard queueing delay + service latency) exactly as
+        :meth:`handle` computes it, and every result's ``batch_index``
+        is rewritten to its position in *this* window (``batch_id`` is
+        shared by all of them), so the pair stays unique even though the
+        window split across replicas.  Request accounting is identical
+        to ``len(requests)`` :meth:`handle` calls: each request counts
+        once, cluster-wide.
+
+        Tracing happens at batch granularity: with ``trace_requests``
+        on, each replica group runs under one ``cluster.batch`` span
+        (per-item attribution flows through batch_id/batch_index rather
+        than per-item span trees — that is the point of the batch path).
+        """
+        if not requests:
+            return []
+        cfg = self.config
+        self._batch_seq += 1
+        if batch_id is None:
+            batch_id = f"{cfg.name}-b{self._batch_seq}"
+        typed = [ServeRequest(query=request) if isinstance(request, str)
+                 else request for request in requests]
+        arrival = self.clock.now()
+        self._requests.inc(len(typed))
+        shed = self.queue_depth >= cfg.max_queue_depth
+        if shed:
+            self._shed.inc(len(typed))
+        groups: dict[str, list[int]] = {}
+        for index, request in enumerate(typed):
+            replica_id, failed_over = self._select(request.query)
+            if failed_over:
+                self._failovers.inc()
+            groups.setdefault(replica_id, []).append(index)
+        results: list[ServeResult | None] = [None] * len(typed)
+        for replica_id, indices in groups.items():
+            service = self.services[replica_id]
+            group = [typed[i] for i in indices]
+            start = max(arrival, service.clock.now())
+            if cfg.trace_requests:
+                context = TraceContext(make_trace_id(
+                    int(self._requests.value), f"{batch_id}:{replica_id}"))
+                held = _HeldClock(arrival)
+                with self.tracer.attach(context, clock=held.now):
+                    with self.tracer.span(
+                        "cluster.batch", batch=batch_id, replica=replica_id,
+                        items=len(group), shed=shed,
+                    ) as span:
+                        service.clock.sleep_until(start)
+                        held.value = start
+                        with service.tracer.attach(
+                            context.child(self.tracer.ref(span))
+                        ):
+                            group_results = service.serve_batch(
+                                group, batch_id=batch_id,
+                                allow_enqueue=not shed,
+                            )
+                        held.value = service.clock.now()
+            else:
+                service.clock.sleep_until(start)
+                group_results = service.serve_batch(
+                    group, batch_id=batch_id, allow_enqueue=not shed)
+            for index, result in zip(indices, group_results):
+                end_to_end = (start - arrival) + result.latency_s
+                self._latency.observe(end_to_end)
+                results[index] = replace(result, latency_s=end_to_end,
+                                         batch_index=index)
+            self._maybe_flush(replica_id)
+        self._depth_gauge.set(self.queue_depth)
+        return results
+
     # ------------------------------------------------------------------
     # Batching
     # ------------------------------------------------------------------
@@ -384,7 +515,7 @@ class CosmoCluster:
         pending = service.cache.pending_size
         now = service.clock.now()
         if pending > 0:
-            self.scheduler.note_pending(replica_id, now)
+            self.scheduler.note_pending(replica_id, now, pending=pending)
         trigger = self.scheduler.should_flush(replica_id, pending, now)
         if trigger is not None:
             self._flush_replica(replica_id, trigger, context)
@@ -405,7 +536,7 @@ class CosmoCluster:
                     max_queries=self.config.max_batch_size)
             span.set_attribute("installed", installed)
         self._flushes.labels(cluster=self.config.name, trigger=trigger).inc()
-        self.scheduler.flushed(replica_id)
+        self.scheduler.flushed(replica_id, remaining=service.cache.pending_size)
         if self.event_log is not None:
             self.event_log.emit(
                 "cluster.flush", ts=service.clock.now(),

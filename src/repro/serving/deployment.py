@@ -48,16 +48,44 @@ from repro.serving.faults import GeneratorFault
 from repro.serving.feature_store import FeatureStore
 from repro.serving.resilience import (
     CircuitBreaker,
-    CircuitOpenError,
     ResilientGenerator,
-    RetriesExhausted,
     RetryPolicy,
 )
 
-__all__ = ["ServingMetrics", "DeadLetter", "CosmoService"]
+__all__ = ["ServingMetrics", "DeadLetter", "BatchCostModel", "CosmoService"]
 
 _CACHE_LATENCY_S = 0.002
 _DEGRADED_LATENCY_S = 0.004
+
+
+@dataclass(frozen=True)
+class BatchCostModel:
+    """Amortized simulated cost of one vectorized serving window.
+
+    When a :class:`CosmoService` is built with a cost model, a
+    ``serve_batch`` window of ``n`` requests is charged
+    ``batch_overhead_s + n * item_cost_s`` *once* — every item in the
+    window completes together when the window does, which is what a real
+    vectorized lookup costs (one dispatch, per-row marginal work)
+    instead of ``n`` sequential round trips.  Without a cost model
+    (the default) ``serve_batch`` charges exactly what the per-item
+    ``serve`` loop would — the golden equivalence suite pins the two
+    paths byte-identical — so amortization is an explicit opt-in knob,
+    not a silent accounting change.
+    """
+
+    batch_overhead_s: float = 0.002
+    item_cost_s: float = 0.0002
+
+    def __post_init__(self):
+        if self.batch_overhead_s < 0 or self.item_cost_s < 0:
+            raise ValueError("batch costs must be non-negative")
+
+    def window_latency_s(self, n_items: int) -> float:
+        """Simulated duration of one window of ``n_items`` requests."""
+        if n_items <= 0:
+            return 0.0
+        return self.batch_overhead_s + n_items * self.item_cost_s
 
 #: attribute name → (metric name, help) for the integer request counters.
 _COUNTER_SPECS = {
@@ -178,10 +206,15 @@ class DeadLetter:
 class CosmoService:
     """Online serving wrapper around any batched knowledge generator.
 
-    ``generator`` must expose ``generate_knowledge(prompts) ->
-    [Generation]`` and a ``latency`` :class:`LatencyModel` — both
-    :class:`~repro.core.cosmo_lm.CosmoLM` and a raw teacher adapter
-    qualify, so the serving bench can compare the two deployments.
+    ``generator`` must expose ``generate_batch(prompts) ->
+    GenerationBatch`` and a ``latency`` :class:`LatencyModel` — both
+    :class:`~repro.core.cosmo_lm.CosmoLM` and the raw teacher qualify,
+    so the serving bench can compare the two deployments.
+
+    ``batch_costs`` opts the :meth:`serve_batch` fast path into
+    amortized window accounting (see :class:`BatchCostModel`); left
+    ``None``, batched serving charges exactly what per-item serving
+    would.
 
     With ``resilience=True`` (the default) generator calls go through a
     :class:`~repro.serving.resilience.ResilientGenerator` (``retry`` /
@@ -211,9 +244,12 @@ class CosmoService:
         tracer: Tracer | None = None,
         event_log: EventLog | None = None,
         name: str = "cosmo",
+        batch_costs: BatchCostModel | None = None,
     ):
         self.generator = generator
         self.clock = clock or SimClock()
+        self._batch_costs = batch_costs
+        self._batch_seq = 0
         self.name = name
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer or Tracer(clock=self.clock.now)
@@ -353,6 +389,80 @@ class CosmoService:
         self._note_outcome(result)
         return result
 
+    def serve_batch(self, requests: list[ServeRequest],
+                    batch_id: str | None = None,
+                    allow_enqueue: bool = True) -> list[ServeResult]:
+        """Serve one window of requests as a unit; the batch entrypoint.
+
+        Every result is stamped with the window's ``batch_id`` and the
+        request's ``batch_index`` inside it, so traces and exemplars can
+        attribute per-item latency within a flush.  Without a
+        :class:`BatchCostModel` the window performs the exact per-item
+        operations :meth:`serve` would (byte-identical envelopes modulo
+        the batch fields, byte-identical metrics) — with one, the cached
+        window is served through one vectorized cache fetch and charged
+        the amortized window cost, all items completing together.
+        Direct-mode requests always take the per-item path: a
+        synchronous model call has no window to amortize over.
+        """
+        self._batch_seq += 1
+        if batch_id is None:
+            batch_id = f"{self.name}-b{self._batch_seq}"
+        with self._maybe_span("serving.serve_batch", batch=batch_id,
+                              items=len(requests)):
+            if self._batch_costs is None or any(r.direct for r in requests):
+                results = [self.serve(request, allow_enqueue=allow_enqueue)
+                           for request in requests]
+            else:
+                results = self._serve_batch_amortized(requests, allow_enqueue)
+        for index, result in enumerate(results):
+            # Results are freshly built and unshared; stamp the frozen
+            # dataclasses in place (see the trace_id note in serve()).
+            object.__setattr__(result, "batch_id", batch_id)
+            object.__setattr__(result, "batch_index", index)
+        return results
+
+    def _serve_batch_amortized(self, requests: list[ServeRequest],
+                               allow_enqueue: bool) -> list[ServeResult]:
+        """One vectorized cache fetch + one window charge for the batch."""
+        queries = [request.query for request in requests]
+        hits = self.cache.fetch_many(queries, enqueue=allow_enqueue)
+        duration = self._batch_costs.window_latency_s(len(requests))
+        self.clock.advance(duration)
+        results: list[ServeResult] = []
+        for request, hit in zip(requests, hits):
+            if hit is not None:
+                text, layer = hit
+                self.metrics.served_fresh += 1
+                source = (SOURCE_CACHE_YEARLY if layer == "yearly"
+                          else SOURCE_CACHE_DAILY)
+                result = ServeResult(query=request.query, text=text,
+                                     outcome=ServeOutcome.FRESH, source=source,
+                                     latency_s=duration, replica=self.name)
+            else:
+                result = self._degraded_window_result(request.query, duration)
+            self._observe_latency(duration)
+            self._note_outcome(result)
+            results.append(result)
+        return results
+
+    def _degraded_window_result(self, query: str,
+                                duration: float) -> ServeResult:
+        """Degradation chain for a miss inside an amortized window (the
+        stale read shares the window's charge instead of adding its own
+        per-item latency)."""
+        if self._resilient is not None:
+            stale, source = self._stale_response(query)
+            if stale is not None:
+                self.metrics.degraded_serves += 1
+                return ServeResult(query=query, text=stale,
+                                   outcome=ServeOutcome.DEGRADED, source=source,
+                                   latency_s=duration, replica=self.name)
+        self.metrics.fallbacks += 1
+        return ServeResult(query=query, text=self._fallback,
+                           outcome=ServeOutcome.FALLBACK, source=SOURCE_FALLBACK,
+                           latency_s=duration, replica=self.name)
+
     def _serve(self, request: ServeRequest, allow_enqueue: bool) -> ServeResult:
         if request.direct:
             return self._serve_direct(request.query)
@@ -430,7 +540,6 @@ class CosmoService:
         prompt = self._prompt_builder(query)
         clock_before = self.clock.now()
         latency_before = self.generator.latency.total_simulated_s
-        source = self._resilient if self._resilient is not None else self.generator
         generation = None
         # Under a ResilientGenerator the per-attempt spans
         # (resilience.attempt / resilience.backoff) already cover the
@@ -438,14 +547,11 @@ class CosmoService:
         # duplicate the generation stage on the hot path; it is emitted
         # for the raw-generator configuration that has no spans of its own.
         if self._resilient is not None:
-            try:
-                generation = source.generate_knowledge([prompt])[0]
-            except (GeneratorFault, CircuitOpenError, RetriesExhausted):
-                pass
+            generation = self._resilient.generate_batch([prompt]).generations[0]
         else:
             with self._maybe_span("serving.generate") as span:
                 try:
-                    generation = source.generate_knowledge([prompt])[0]
+                    generation = self.generator.generate_batch([prompt]).generations[0]
                 except GeneratorFault:
                     if span is not None:
                         span.set_attribute("outcome", "failed")
@@ -542,7 +648,7 @@ class CosmoService:
                     )
         else:
             try:
-                generations = self.generator.generate_knowledge(prompts)
+                generations = self.generator.generate_batch(prompts).generations
             except GeneratorFault:
                 self.metrics.generator_failures += 1
                 return 0
@@ -586,7 +692,7 @@ class CosmoService:
             generations = outcome.generations
         else:
             try:
-                generations = self.generator.generate_knowledge(prompts)
+                generations = self.generator.generate_batch(prompts).generations
             except GeneratorFault:
                 self.metrics.generator_failures += 1
                 self.dead_letters = letters
@@ -677,7 +783,7 @@ class CosmoService:
                     generations = outcome.generations
                 else:
                     try:
-                        generations = self.generator.generate_knowledge(prompts)
+                        generations = self.generator.generate_batch(prompts).generations
                     except GeneratorFault:
                         self.metrics.generator_failures += 1
                         generations = [None] * len(stale)

@@ -4,7 +4,7 @@ The paper's availability story (§3.5: a cache-fronted COSMO-LM answering
 heavy traffic) is only testable if the generator can *fail*.  This module
 makes failure a first-class, reproducible input: a seeded
 :class:`FaultInjector` draws a configured mix of failure modes and
-:class:`FlakyGenerator` applies them to any ``generate_knowledge``
+:class:`FlakyGenerator` applies them to any ``generate_batch``
 implementation.  All injected delays are charged to the generator's
 :class:`~repro.llm.interface.LatencyModel` (simulated seconds — never a
 wall-clock sleep), so chaos benches stay deterministic and fast.
@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, replace
 
+from repro.llm.interface import GenerationBatch
 from repro.utils.rng import spawn_rng
 
 __all__ = [
@@ -134,7 +135,7 @@ class FlakyGenerator:
     """Wrap any batched generator with injected faults.
 
     Implements :class:`~repro.llm.interface.KnowledgeGenerator`
-    (``generate_knowledge``, ``latency``, ``parameter_count``, attribute
+    (``generate_batch``, ``latency``, ``parameter_count``, attribute
     passthrough) so it drops into
     :class:`~repro.serving.deployment.CosmoService` or
     :class:`~repro.serving.resilience.ResilientGenerator` unchanged.
@@ -153,7 +154,7 @@ class FlakyGenerator:
             raise AttributeError(name)
         return getattr(self.inner, name)
 
-    def generate_knowledge(self, prompts):
+    def generate_batch(self, prompts) -> GenerationBatch:
         self.calls += 1
         fault = self.injector.call_fault()
         if fault == "error":
@@ -168,7 +169,7 @@ class FlakyGenerator:
                 f"(call {self.calls})"
             )
         before = self.latency.total_simulated_s
-        generations = self.inner.generate_knowledge(prompts)
+        generations = self.inner.generate_batch(prompts).generations
         if fault == "slow":
             elapsed = self.latency.total_simulated_s - before
             self.latency.charge_seconds(elapsed * (self.injector.plan.slow_factor - 1.0))
@@ -179,4 +180,8 @@ class FlakyGenerator:
                 corrupted.append(generation)
             else:
                 corrupted.append(replace(generation, text=garbage))
-        return corrupted
+        return GenerationBatch(generations=corrupted)
+
+    def generate_knowledge(self, prompts):
+        """Deprecated shim over :meth:`generate_batch`."""
+        return self.generate_batch(prompts).require()

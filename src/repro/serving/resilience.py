@@ -24,7 +24,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.llm.interface import Generation
+from repro.llm.interface import Generation, GenerationBatch
 from repro.serving.clock import SimClock
 from repro.serving.faults import GeneratorFault
 from repro.utils.rng import spawn_rng
@@ -271,25 +271,10 @@ class CircuitBreaker:
         return 1.0 - sum(self._outcomes) / len(self._outcomes)
 
 
-@dataclass
-class BatchOutcome:
-    """Per-prompt result of one resilient batched generation."""
-
-    generations: list[Generation | None]
-    attempts: int = 0
-    retries: int = 0
-    errors: int = 0
-    rejected: int = 0
-    breaker_refused: bool = False
-    wait_s: float = 0.0
-
-    @property
-    def failed_indices(self) -> list[int]:
-        return [i for i, g in enumerate(self.generations) if g is None]
-
-    @property
-    def ok(self) -> bool:
-        return not self.failed_indices
+#: Historical name for the unified batched-generation result type, kept
+#: for importers of the resilience layer; the canonical definition lives
+#: with the :class:`~repro.llm.interface.KnowledgeGenerator` protocol.
+BatchOutcome = GenerationBatch
 
 
 def _default_validator(text: str) -> bool:
@@ -301,11 +286,12 @@ class ResilientGenerator:
     generator.
 
     Drop-in for the :class:`~repro.llm.interface.KnowledgeGenerator`
-    protocol: ``generate_knowledge`` raises on failure, while
-    :meth:`generate_batch` returns a :class:`BatchOutcome` with
-    per-prompt results so callers (the batch processor, the dead-letter
-    redrive) can handle partial failure.  Unknown attributes pass through
-    to the wrapped generator.
+    protocol: :meth:`generate_batch` returns a
+    :class:`~repro.llm.interface.GenerationBatch` with per-prompt
+    results so callers (the batch processor, the dead-letter redrive)
+    can handle partial failure, while the deprecated
+    ``generate_knowledge`` shim raises on failure.  Unknown attributes
+    pass through to the wrapped generator.
     """
 
     def __init__(
@@ -344,7 +330,7 @@ class ResilientGenerator:
         return getattr(self.inner, name)
 
     # ------------------------------------------------------------------
-    def generate_batch(self, prompts: list[str]) -> BatchOutcome:
+    def generate_batch(self, prompts: list[str]) -> GenerationBatch:
         """Generate with retries; failed prompts come back as ``None``.
 
         A call-level fault fails the whole remaining batch for that
@@ -352,7 +338,7 @@ class ResilientGenerator:
         attempt alone.  Backoffs and generation latency both advance the
         simulated clock, and the deadline budget covers their sum.
         """
-        outcome = BatchOutcome(generations=[None] * len(prompts))
+        outcome = GenerationBatch(generations=[None] * len(prompts), attempts=0)
         remaining = list(range(len(prompts)))
         started = self.clock.now()
         while remaining:
@@ -376,9 +362,9 @@ class ResilientGenerator:
                                   attempt=outcome.attempts,
                                   prompts=len(remaining)) as span:
                 try:
-                    generations = self.inner.generate_knowledge(
+                    generations = self.inner.generate_batch(
                         [prompts[i] for i in remaining]
-                    )
+                    ).generations
                 except GeneratorFault:
                     self.clock.advance(self.latency.total_simulated_s - before)
                     outcome.errors += 1
@@ -401,7 +387,7 @@ class ResilientGenerator:
         return outcome
 
     def generate_knowledge(self, prompts: list[str]) -> list[Generation]:
-        """Protocol-compatible all-or-nothing generation."""
+        """Deprecated all-or-nothing shim over :meth:`generate_batch`."""
         outcome = self.generate_batch(prompts)
         if outcome.ok:
             return outcome.generations

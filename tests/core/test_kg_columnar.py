@@ -1,0 +1,225 @@
+"""Columnar KG internals: intern tables, CSR neighbor queries, the
+``.npz`` round-trip and the snapshot column digest.
+
+Golden contract of the columnar refactor: the interned/array-backed
+:class:`KnowledgeGraph` is behaviorally identical to the reference
+dict-of-triples semantics — same dedup/merge rules, same ``triples()``
+order, same stats — while queries run off id tables and CSR slices
+instead of full scans.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kg import KnowledgeGraph
+from repro.core.kg_io import load_kg_columnar, save_kg_columnar
+from repro.core.relations import Relation
+from repro.core.triples import KnowledgeTriple
+from repro.refresh import build_snapshot, columnar_digest
+
+_relations = st.sampled_from(list(Relation))
+_texts = st.text(alphabet="abcde ", min_size=1, max_size=10).map(str.strip).filter(bool)
+
+
+@st.composite
+def triples(draw):
+    return KnowledgeTriple(
+        head=draw(_texts),
+        relation=draw(_relations),
+        tail=draw(_texts),
+        domain=draw(st.sampled_from(["Electronics", "Pet Supplies"])),
+        behavior=draw(st.sampled_from(["co-buy", "search-buy"])),
+        plausibility=draw(st.floats(0, 1)),
+        typicality=draw(st.floats(0, 1)),
+        support=draw(st.integers(1, 5)),
+        head_ids=tuple(draw(st.lists(st.sampled_from(["p1", "p2"]), max_size=2))),
+    )
+
+
+def _triple(head="q ||| p", tail="camping", relation=Relation.USED_FOR_EVE,
+            domain="Sports & Outdoors", behavior="search-buy",
+            plausibility=0.9, typicality=0.6):
+    return KnowledgeTriple(
+        head=head, relation=relation, tail=tail, domain=domain,
+        behavior=behavior, plausibility=plausibility, typicality=typicality,
+    )
+
+
+# -- column layout ----------------------------------------------------------
+
+
+def test_columns_expose_trimmed_typed_arrays():
+    kg = KnowledgeGraph()
+    kg.add(_triple())
+    kg.add(_triple(tail="hiking", plausibility=0.7))
+    cols = kg.columns()
+    assert cols["head"].dtype == np.int32
+    assert cols["plausibility"].dtype == np.float64
+    assert cols["support"].dtype == np.int64
+    assert len(cols["head"]) == len(kg) == 2
+    assert cols["nodes"][cols["head"][0]] == "q ||| p"
+    assert cols["nodes"][cols["tail"][0]] == "camping"
+    assert list(cols["plausibility"]) == [0.9, 0.7]
+
+
+def test_columns_grow_past_initial_capacity():
+    kg = KnowledgeGraph()
+    kg.extend([_triple(tail=f"tail {i:03d}") for i in range(100)])
+    assert len(kg) == 100
+    cols = kg.columns()
+    assert len(cols["tail"]) == 100
+    assert [t.tail for t in kg.triples()] == [f"tail {i:03d}" for i in range(100)]
+
+
+def test_duplicate_merge_keeps_columns_compact():
+    kg = KnowledgeGraph()
+    kg.add(_triple(plausibility=0.5, typicality=0.4))
+    kg.add(_triple(plausibility=0.8, typicality=0.1))
+    cols = kg.columns()
+    assert len(cols["head"]) == 1
+    assert cols["plausibility"][0] == 0.8
+    assert cols["typicality"][0] == 0.4
+    assert cols["support"][0] == 2
+
+
+def test_nodes_interned_across_heads_and_tails():
+    kg = KnowledgeGraph()
+    # The same string as a head of one edge and tail of another should
+    # intern to a single node id (stats count it once).
+    kg.add(_triple(head="camping", tail="warmth"))
+    kg.add(_triple(head="boots", tail="camping"))
+    assert kg.stats().nodes == 3
+
+
+# -- CSR neighbor queries ---------------------------------------------------
+
+
+def test_neighbors_returns_triples_for_one_head():
+    kg = KnowledgeGraph()
+    kg.add(_triple(head="h1", tail="a"))
+    kg.add(_triple(head="h2", tail="b"))
+    kg.add(_triple(head="h1", tail="c", relation=Relation.X_WANT))
+    neighbors = kg.neighbors("h1")
+    assert {t.tail for t in neighbors} == {"a", "c"}
+    assert all(t.head == "h1" for t in neighbors)
+    assert kg.neighbors("missing") == []
+
+
+def test_tails_of_is_sorted_and_unique():
+    kg = KnowledgeGraph()
+    kg.add(_triple(head="h", tail="zebra"))
+    kg.add(_triple(head="h", tail="apple", relation=Relation.X_WANT))
+    kg.add(_triple(head="h", tail="apple", relation=Relation.CAPABLE_OF))
+    assert kg.tails_of("h") == ["apple", "zebra"]
+
+
+def test_csr_rebuilds_after_new_edges():
+    kg = KnowledgeGraph()
+    kg.add(_triple(head="h", tail="a"))
+    assert kg.tails_of("h") == ["a"]
+    kg.add(_triple(head="h", tail="b", relation=Relation.X_WANT))
+    assert kg.tails_of("h") == ["a", "b"]
+
+
+@given(st.lists(triples(), max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_csr_neighbors_match_linear_scan(batch):
+    kg = KnowledgeGraph()
+    kg.extend(batch)
+    reference = kg.triples()
+    for head in {t.head for t in reference}:
+        expected = [t for t in reference if t.head == head]
+        got = kg.neighbors(head)
+        assert sorted(t.key for t in got) == sorted(t.key for t in expected)
+        assert kg.tails_of(head) == sorted({t.tail for t in expected})
+
+
+@given(st.lists(triples(), max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_intern_tables_round_trip_every_string(batch):
+    kg = KnowledgeGraph()
+    kg.extend(batch)
+    cols = kg.columns()
+    nodes, relations = cols["nodes"], cols["relations"]
+    domains, behaviors = cols["domains"], cols["behaviors"]
+    for row, triple in enumerate(kg.triples()):
+        assert nodes[cols["head"][row]] == triple.head
+        assert nodes[cols["tail"][row]] == triple.tail
+        assert relations[cols["relation"][row]] == triple.relation.value
+        assert domains[cols["domain"][row]] == triple.domain
+        assert behaviors[cols["behavior"][row]] == triple.behavior
+    # Interning is bijective: no dangling or duplicated table entries.
+    assert len(set(nodes)) == len(nodes)
+    assert len(set(relations)) == len(relations)
+
+
+# -- columnar (de)serialization --------------------------------------------
+
+
+def test_columnar_npz_round_trip(tmp_path):
+    kg = KnowledgeGraph()
+    kg.add(_triple())
+    kg.add(KnowledgeTriple(
+        head="q2 ||| boots", relation=Relation.X_WANT, tail="warm feet",
+        domain="Electronics", behavior="co-buy", plausibility=0.75,
+        typicality=0.5, support=3, head_ids=("p1", "p2"),
+    ))
+    path = tmp_path / "kg.npz"
+    written = save_kg_columnar(kg, path)
+    assert written == 2
+    restored = load_kg_columnar(path)
+    assert restored.triples() == kg.triples()
+    assert restored.stats() == kg.stats()
+
+
+@given(st.lists(triples(), max_size=30))
+@settings(max_examples=25, deadline=None)
+def test_columnar_round_trip_any_graph(tmp_path_factory, batch):
+    kg = KnowledgeGraph()
+    kg.extend(batch)
+    path = tmp_path_factory.mktemp("kgcol") / "kg.npz"
+    save_kg_columnar(kg, path)
+    restored = load_kg_columnar(path)
+    assert restored.triples() == kg.triples()
+
+
+def test_columnar_load_rejects_foreign_npz(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez_compressed(path, data=np.arange(3))
+    with pytest.raises(ValueError):
+        load_kg_columnar(path)
+
+
+# -- snapshot column digest -------------------------------------------------
+
+
+def _graph():
+    kg = KnowledgeGraph()
+    kg.add(_triple())
+    kg.add(_triple(tail="hiking", relation=Relation.X_WANT))
+    return kg
+
+
+def test_columnar_digest_is_deterministic_and_content_sensitive():
+    digest_a = columnar_digest(_graph())
+    digest_b = columnar_digest(_graph())
+    assert digest_a == digest_b
+
+    changed = _graph()
+    changed.add(_triple(tail="sailing"))
+    assert columnar_digest(changed) != digest_a
+
+
+def test_build_snapshot_stamps_digest_without_changing_version():
+    graph = _graph()
+    entries = {"q": "knowledge"}
+    with_graph = build_snapshot(entries, graph.triples(), graph=graph)
+    without = build_snapshot(entries, graph.triples())
+    # The digest is an integrity witness, not part of snapshot identity:
+    # the same content hashes to the same version either way.
+    assert with_graph.manifest.version == without.manifest.version
+    assert with_graph.manifest.columnar_digest == columnar_digest(graph)
+    assert without.manifest.columnar_digest == ""
+    assert with_graph.manifest.as_dict()["columnar_digest"] != ""

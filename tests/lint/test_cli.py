@@ -69,6 +69,7 @@ def test_list_rules_names_the_contract_set(capsys):
         assert rule_id in out
     assert rule_ids() == [
         "all-consistency",
+        "batch-entrypoint-only",
         "clock-injection",
         "event-log-only",
         "float-equality",

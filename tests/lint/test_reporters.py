@@ -71,6 +71,12 @@ def fixture_package(tmp_path):
         def forge(manifest):
             return KgSnapshot(manifest, {}, ())
         """)
+    module(serving / "caller.py", """
+        __all__ = ["fetch"]
+
+        def fetch(generator, prompt):
+            return generator.generate_knowledge([prompt])
+        """)
     module(serving / "printer.py", """
         __all__ = ["announce"]
 
@@ -92,7 +98,7 @@ def test_json_reporter_exact_payload(fixture_package):
     payload = json.loads(format_json(result))
 
     assert payload["version"] == REPORT_VERSION
-    assert payload["files_checked"] == 11
+    assert payload["files_checked"] == 12
     assert payload["suppressed"] == 0
     assert payload["baselined"] == 0
     assert payload["diagnostics"] == [
@@ -142,6 +148,18 @@ def test_json_reporter_exact_payload(fixture_package):
                 "call to numpy.random.default_rng bypasses the seed+scope "
                 "discipline; derive streams via "
                 "repro.utils.rng.spawn_rng(seed, scope=...)"
+            ),
+        },
+        {
+            "rule": "batch-entrypoint-only",
+            "path": str(fixture_package / "serving" / "caller.py"),
+            "line": 4,
+            "col": 12,
+            "message": (
+                "per-item .generate_knowledge() call in a serving module; "
+                "route generator work through generate_batch() so the "
+                "flush/window is charged one amortized batch, not per-item "
+                "latency"
             ),
         },
         {
@@ -204,7 +222,7 @@ def test_text_reporter_lines_and_summary(fixture_package):
     result = lint_paths([fixture_package])
     text = format_text(result)
     lines = text.splitlines()
-    assert lines[-1] == "9 problems in 11 files (0 suppressed)"
+    assert lines[-1] == "10 problems in 12 files (0 suppressed)"
     assert f"{fixture_package / 'allmod.py'}:1:1: [all-consistency] " in lines[0]
     assert all(":" in line for line in lines[:-1])
 

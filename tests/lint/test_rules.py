@@ -5,6 +5,7 @@ import textwrap
 from repro.lint import lint_source
 from repro.lint.rules import (
     AllConsistencyRule,
+    BatchEntrypointOnlyRule,
     EventLogOnlyRule,
     FloatEqualityRule,
     MutableDefaultRule,
@@ -496,6 +497,59 @@ def test_trace_id_contract_scoped_to_serving_modules():
                     path="src/repro/obs/trace_query.py") == []
     assert len(run_rule(TraceIdContractRule, source,
                         path="src/repro/serving/router.py")) == 1
+
+
+# -- batch-entrypoint-only ----------------------------------------------
+
+
+def test_batch_entrypoint_flags_per_item_generate_in_serving():
+    diags = run_rule(
+        BatchEntrypointOnlyRule,
+        """
+        generation = self.generator.generate(prompt)[0]
+        """,
+        path="src/repro/serving/deployment.py",
+    )
+    assert [d.rule for d in diags] == ["batch-entrypoint-only"]
+    assert "generate_batch" in diags[0].message
+
+
+def test_batch_entrypoint_flags_deprecated_generate_knowledge_calls():
+    diags = run_rule(
+        BatchEntrypointOnlyRule,
+        """
+        texts = self.generator.generate_knowledge(prompts)
+        more = resilient.generate_knowledge([prompt])
+        """,
+        path="src/repro/serving/cluster.py",
+    )
+    assert [d.rule for d in diags] == ["batch-entrypoint-only"] * 2
+    assert [d.line for d in diags] == [2, 3]
+
+
+def test_batch_entrypoint_allows_generate_batch_and_shim_definitions():
+    diags = run_rule(
+        BatchEntrypointOnlyRule,
+        """
+        class Shim:
+            def generate_knowledge(self, prompts):
+                return self.generate_batch(prompts).require()
+
+        batch = self.generator.generate_batch(prompts)
+        """,
+        path="src/repro/serving/resilience.py",
+    )
+    assert diags == []
+
+
+def test_batch_entrypoint_scoped_to_serving_modules():
+    source = """
+    generations = teacher.generate(prompt, num_candidates=3)
+    """
+    assert run_rule(BatchEntrypointOnlyRule, source,
+                    path="src/repro/core/generation.py") == []
+    assert len(run_rule(BatchEntrypointOnlyRule, source,
+                        path="src/repro/serving/chaos.py")) == 1
 
 
 # -- suppressions -------------------------------------------------------

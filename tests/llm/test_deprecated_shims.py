@@ -1,0 +1,82 @@
+"""Tombstone: the deprecated ``generate_knowledge`` surface.
+
+The batch-first redesign made ``generate_batch`` (returning a
+:class:`~repro.llm.interface.GenerationBatch`) the one
+:class:`~repro.llm.interface.KnowledgeGenerator` entrypoint.  Every
+generator keeps ``generate_knowledge`` only as a thin shim over
+``generate_batch`` for offline/pipeline callers.  These tests pin the
+shim contract — same outputs, no independent code path — so the
+deprecated method cannot quietly grow back into a second entrypoint.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.refresh import build_snapshot
+from repro.refresh.rollout import SnapshotGenerator
+from repro.serving import FaultInjector, FaultPlan, FlakyGenerator, SimClock
+from repro.serving.chaos import ScriptedGenerator
+from repro.serving.resilience import ResilientGenerator, RetriesExhausted
+
+_SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+PROMPTS = ["camping gear", "dog food"]
+
+
+def test_scripted_shim_matches_generate_batch():
+    via_shim = ScriptedGenerator().generate_knowledge(PROMPTS)
+    via_batch = ScriptedGenerator().generate_batch(PROMPTS).require()
+    assert via_shim == via_batch
+
+
+def test_snapshot_generator_shim_matches_generate_batch():
+    entries = {p: f"knowledge about {p}" for p in PROMPTS}
+    snapshot = build_snapshot(entries, [])
+    via_shim = SnapshotGenerator(snapshot).generate_knowledge(PROMPTS)
+    via_batch = SnapshotGenerator(snapshot).generate_batch(PROMPTS).require()
+    assert via_shim == via_batch
+    assert [g.text for g in via_shim] == [entries[p] for p in PROMPTS]
+
+
+def test_flaky_generator_shim_matches_generate_batch():
+    def flaky():
+        injector = FaultInjector(FaultPlan(), seed=9)  # clean plan
+        return FlakyGenerator(ScriptedGenerator(), injector)
+
+    via_shim = flaky().generate_knowledge(PROMPTS)
+    via_batch = flaky().generate_batch(PROMPTS).require()
+    assert via_shim == via_batch
+
+
+def test_resilient_shim_returns_generations_or_raises():
+    healthy = ResilientGenerator(ScriptedGenerator(), clock=SimClock())
+    outputs = healthy.generate_knowledge(PROMPTS)
+    assert [g.text for g in outputs] == [
+        ScriptedGenerator.knowledge_for(p) for p in PROMPTS]
+
+    injector = FaultInjector(FaultPlan(error_rate=1.0), seed=9)
+    broken = ResilientGenerator(
+        FlakyGenerator(ScriptedGenerator(), injector), clock=SimClock())
+    # The batch entrypoint reports partial failure; the deprecated
+    # all-or-nothing shim converts it to the legacy exception.
+    assert not broken.generate_batch(PROMPTS).ok
+    with pytest.raises(RetriesExhausted):
+        broken.generate_knowledge(PROMPTS)
+
+
+def test_every_generate_knowledge_definition_sits_beside_generate_batch():
+    """Static sweep: no class may define the deprecated shim without
+    also defining the batch entrypoint it is supposed to wrap."""
+    offenders = []
+    for path in sorted(_SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {child.name for child in node.body
+                       if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))}
+            if "generate_knowledge" in methods and "generate_batch" not in methods:
+                offenders.append(f"{path.relative_to(_SRC)}:{node.name}")
+    assert offenders == []

@@ -28,7 +28,7 @@ def test_teacher_to_student_cost_ratio_is_orders_of_magnitude():
 def test_generation_latency_scales_with_output_length():
     tok = Tokenizer().fit(["word " * 50])
     model = Seq2SeqLM(tok, embed_dim=8, hidden_dim=8)
-    short = model.generate_batch(["word"], max_new_tokens=1)[0]
-    long = model.generate_batch(["word"], max_new_tokens=14)[0]
+    short = model.decode_batch(["word"], max_new_tokens=1)[0]
+    long = model.decode_batch(["word"], max_new_tokens=14)[0]
     # Latency is charged per produced token (floor of one).
     assert long.latency_s >= short.latency_s

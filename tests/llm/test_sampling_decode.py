@@ -22,29 +22,29 @@ def model():
 
 
 def test_greedy_is_deterministic(model):
-    a = model.generate_batch(["box 1 marker red task: say"])[0].text
-    b = model.generate_batch(["box 1 marker red task: say"])[0].text
+    a = model.decode_batch(["box 1 marker red task: say"])[0].text
+    b = model.decode_batch(["box 1 marker red task: say"])[0].text
     assert a == b
 
 
 def test_sampling_with_same_rng_is_reproducible(model):
     rng_a = spawn_rng(5, "s")
     rng_b = spawn_rng(5, "s")
-    a = model.generate_batch(["box 1 marker red task: say"], temperature=0.8, rng=rng_a)
-    b = model.generate_batch(["box 1 marker red task: say"], temperature=0.8, rng=rng_b)
+    a = model.decode_batch(["box 1 marker red task: say"], temperature=0.8, rng=rng_a)
+    b = model.decode_batch(["box 1 marker red task: say"], temperature=0.8, rng=rng_b)
     assert a[0].text == b[0].text
 
 
 def test_sampling_produces_diversity(model):
     rng = spawn_rng(6, "s")
     prompts = ["box 2 marker blue task: say"] * 12
-    outputs = model.generate_batch(prompts, temperature=1.5, top_k=12, rng=rng)
+    outputs = model.decode_batch(prompts, temperature=1.5, top_k=12, rng=rng)
     assert len({o.text for o in outputs}) > 1
 
 
 def test_high_temperature_still_mostly_well_formed(model):
     rng = spawn_rng(7, "s")
-    outputs = model.generate_batch(
+    outputs = model.decode_batch(
         [f"box {i % 6} marker green task: say" for i in range(10)],
         temperature=0.7, rng=rng,
     )

@@ -40,7 +40,7 @@ def test_copies_unseen_targets(copy_model):
     for index in range(train_targets, len(words)):
         filler = [words[int(rng.integers(len(words)))] for _ in range(5)]
         prompt = f"{filler[0]} {filler[1]} marker {words[index]} {filler[2]}"
-        output = model.generate_batch([prompt])[0].text
+        output = model.decode_batch([prompt])[0].text
         correct += int(output == f"it is {words[index]}.")
         total += 1
     # Pointer copying must generalize to words never seen as targets.
@@ -50,7 +50,7 @@ def test_copies_unseen_targets(copy_model):
 def test_generate_batch_order_and_shapes(copy_model):
     model, words, _, _ = copy_model
     prompts = [f"a b marker {words[3]} c", f"a b marker {words[7]} c"]
-    outputs = model.generate_batch(prompts)
+    outputs = model.decode_batch(prompts)
     assert len(outputs) == 2
     assert words[3] in outputs[0].text
     assert words[7] in outputs[1].text
@@ -81,12 +81,12 @@ def test_classify_uses_likelihood():
 def test_empty_prompt_list():
     tok = Tokenizer().fit(["a"])
     model = Seq2SeqLM(tok, seed=0)
-    assert model.generate_batch([]) == []
+    assert model.decode_batch([]) == []
 
 
 def test_parameter_count_positive_and_latency(copy_model):
     model, _, _, _ = copy_model
     assert model.parameter_count > 1000
     before = model.latency.total_simulated_s
-    model.generate_batch(["marker w1"])
+    model.decode_batch(["marker w1"])
     assert model.latency.total_simulated_s > before

@@ -34,7 +34,7 @@ def test_training_reduces_loss(trained):
 
 def test_generation_conditions_on_task_token(trained):
     model, _ = trained
-    outputs = model.generate_batch(
+    outputs = model.decode_batch(
         ["object 1 color blue task: say", "object 1 color blue task: judge"]
     )
     assert outputs[0].text.startswith("it is")
@@ -43,7 +43,7 @@ def test_generation_conditions_on_task_token(trained):
 
 def test_generation_conditions_on_content(trained):
     model, _ = trained
-    outputs = model.generate_batch(
+    outputs = model.decode_batch(
         [f"object 2 color {color} task: say" for color in ("red", "blue", "green")]
     )
     texts = [o.text for o in outputs]
@@ -67,11 +67,11 @@ def test_sequence_logprob_is_negative_and_ranks(trained):
 def test_generate_batch_empty():
     tok = Tokenizer().fit(["a"])
     model = StudentLM(tok, seed=0)
-    assert model.generate_batch([]) == []
+    assert model.decode_batch([]) == []
 
 
 def test_latency_charged_per_generation(trained):
     model, _ = trained
     before = model.latency.total_simulated_s
-    model.generate_batch(["object 0 color red task: say"])
+    model.decode_batch(["object 0 color red task: say"])
     assert model.latency.total_simulated_s > before

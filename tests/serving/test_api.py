@@ -135,4 +135,4 @@ def test_student_generate_knowledge_matches_generate_batch():
     prompts = ["winter tent"]
     batch = student.generate_batch(prompts)
     knowledge = student.generate_knowledge(prompts)
-    assert [g.text for g in knowledge] == [g.text for g in batch]
+    assert [g.text for g in knowledge] == [g.text for g in batch.generations]

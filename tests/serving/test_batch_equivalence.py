@@ -1,0 +1,218 @@
+"""Golden equivalence: the batch-first serving path vs per-item serving.
+
+The api_redesign contract: ``serve_batch`` without a
+:class:`~repro.serving.deployment.BatchCostModel` is *observably
+identical* to a per-item ``serve`` loop — byte-identical result
+envelopes (modulo the batch attribution fields, which only the batch
+path stamps) and byte-identical metric snapshots off the shared
+registry.  With a cost model the accounting invariants still hold but
+the charged latency amortizes.  The cluster's ``handle_batch`` must
+count requests exactly like ``len(requests)`` ``handle`` calls.
+"""
+
+from dataclasses import replace
+
+from repro.llm.interface import GenerationBatch
+from repro.obs import MetricsRegistry, snapshot, validate_snapshot
+from repro.serving import (
+    BatchCostModel,
+    ClusterConfig,
+    CosmoCluster,
+    CosmoService,
+    ServeRequest,
+    SimClock,
+)
+from repro.serving.chaos import ScriptedGenerator
+from repro.utils.rng import spawn_rng
+
+import pytest
+
+
+def _zipf_traffic(n_requests: int, n_queries: int = 24, seed: int = 5) -> list[str]:
+    rng = spawn_rng(seed, "batch-equivalence-traffic")
+    picks = rng.integers(0, n_queries, size=n_requests)
+    return [f"query {int(i):02d}" for i in picks]
+
+
+def _drive_per_item(traffic, registry, name):
+    service = CosmoService(ScriptedGenerator(), clock=SimClock(), seed=3,
+                           registry=registry, name=name)
+    results = []
+    for start in range(0, len(traffic), 8):
+        results.extend(service.serve(ServeRequest(query=q))
+                       for q in traffic[start:start + 8])
+        service.run_batch()
+    return service, results
+
+
+def _drive_batched(traffic, registry, name):
+    service = CosmoService(ScriptedGenerator(), clock=SimClock(), seed=3,
+                           registry=registry, name=name)
+    results = []
+    for start in range(0, len(traffic), 8):
+        results.extend(service.serve_batch(
+            [ServeRequest(query=q) for q in traffic[start:start + 8]]))
+        service.run_batch()
+    return service, results
+
+
+def _strip_batch_fields(result):
+    return replace(result, batch_id=None, batch_index=None)
+
+
+def test_serve_batch_neutral_path_matches_per_item_envelopes():
+    traffic = _zipf_traffic(120)
+    _, per_item = _drive_per_item(traffic, MetricsRegistry(), "svc")
+    _, batched = _drive_batched(traffic, MetricsRegistry(), "svc")
+    assert len(per_item) == len(batched)
+    for item, batch in zip(per_item, batched):
+        assert item.batch_id is None and item.batch_index is None
+        assert batch.batch_id is not None and batch.batch_index is not None
+        assert _strip_batch_fields(batch) == item
+
+
+def test_serve_batch_neutral_path_metric_snapshots_are_byte_identical():
+    traffic = _zipf_traffic(120)
+    registry_a = MetricsRegistry()
+    registry_b = MetricsRegistry()
+    _drive_per_item(traffic, registry_a, "svc")
+    _drive_batched(traffic, registry_b, "svc")
+    snap_a = snapshot(registry_a)
+    snap_b = snapshot(registry_b)
+    validate_snapshot(snap_a)
+    validate_snapshot(snap_b)
+    assert snap_a == snap_b
+
+
+def test_serve_batch_stamps_contiguous_batch_attribution():
+    service = CosmoService(ScriptedGenerator(), clock=SimClock(), seed=3)
+    first = service.serve_batch([ServeRequest(query=f"q{i}") for i in range(5)])
+    second = service.serve_batch([ServeRequest(query="solo")])
+    assert [r.batch_index for r in first] == [0, 1, 2, 3, 4]
+    assert len({r.batch_id for r in first}) == 1
+    assert second[0].batch_id != first[0].batch_id
+    assert second[0].batch_index == 0
+
+
+def test_serve_batch_explicit_batch_id_is_honored():
+    service = CosmoService(ScriptedGenerator(), clock=SimClock(), seed=3)
+    results = service.serve_batch([ServeRequest(query="a")], batch_id="window-7")
+    assert results[0].batch_id == "window-7"
+
+
+def test_amortized_window_charges_one_batched_latency():
+    costs = BatchCostModel(batch_overhead_s=0.002, item_cost_s=0.0002)
+    service = CosmoService(ScriptedGenerator(), clock=SimClock(), seed=3,
+                           batch_costs=costs)
+    queries = [f"q{i}" for i in range(8)]
+    # Warm the cache through a miss window + flush.
+    service.serve_batch([ServeRequest(query=q) for q in queries])
+    service.run_batch()
+    before = service.clock.now()
+    results = service.serve_batch([ServeRequest(query=q) for q in queries])
+    window = costs.window_latency_s(len(queries))
+    assert service.clock.now() - before == pytest.approx(window)
+    assert all(r.latency_s == pytest.approx(window) for r in results)
+    # Amortized per-item cost beats the sequential per-hit charge.
+    assert window / len(queries) < 0.002
+
+
+def test_amortized_window_preserves_request_accounting():
+    costs = BatchCostModel()
+    service = CosmoService(ScriptedGenerator(), clock=SimClock(), seed=3,
+                           batch_costs=costs)
+    traffic = _zipf_traffic(96)
+    for start in range(0, len(traffic), 16):
+        service.serve_batch(
+            [ServeRequest(query=q) for q in traffic[start:start + 16]])
+        service.run_batch()
+    metrics = service.metrics
+    assert metrics.requests == len(traffic)
+    assert (metrics.served_fresh + metrics.degraded_serves
+            + metrics.fallbacks == metrics.requests)
+
+
+def test_direct_requests_fall_back_to_per_item_even_with_cost_model():
+    """``direct=True`` bypasses the cache, so the amortized window would
+    misattribute its cost; the batch path must serve such windows
+    item-by-item."""
+    costs = BatchCostModel()
+    service = CosmoService(ScriptedGenerator(), clock=SimClock(), seed=3,
+                           batch_costs=costs)
+    results = service.serve_batch(
+        [ServeRequest(query="a", direct=True), ServeRequest(query="b")])
+    assert [r.batch_index for r in results] == [0, 1]
+    assert results[0].source == "direct"
+
+
+def test_generation_batch_protocol_round_trip():
+    """The unified protocol type: generate_batch returns a
+    GenerationBatch whose shims and helpers agree."""
+    batch = ScriptedGenerator().generate_batch(["a", "b"])
+    assert isinstance(batch, GenerationBatch)
+    assert len(batch) == 2
+    assert batch.ok and batch.failed_indices == []
+    assert [g.text for g in batch.require()] == [
+        "it is used for a.", "it is used for b."]
+
+
+# -- cluster handle_batch ---------------------------------------------------
+
+
+def _cluster(n_replicas, registry, batch_costs=None, trace=True):
+    config = ClusterConfig(n_replicas=n_replicas, max_batch_size=8,
+                           max_batch_delay_s=0.25, seed=11, name="eq",
+                           trace_requests=trace)
+    kwargs = {} if batch_costs is None else {"batch_costs": batch_costs}
+    return CosmoCluster(lambda i: ScriptedGenerator(), config=config,
+                        registry=registry, **kwargs)
+
+
+def test_handle_batch_counts_requests_like_per_item_handling():
+    traffic = _zipf_traffic(64)
+    cluster = _cluster(3, MetricsRegistry())
+    for start in range(0, len(traffic), 8):
+        results = cluster.handle_batch(traffic[start:start + 8])
+        assert len(results) == 8
+        cluster.clock.advance(0.002)
+    cluster.flush()
+    totals = cluster.metrics_totals()
+    assert totals["handled"] == len(traffic)
+    assert totals["requests"] == len(traffic)
+    assert (totals["served_fresh"] + totals["degraded_serves"]
+            + totals["fallbacks"] == len(traffic))
+
+
+def test_handle_batch_results_in_request_order_with_window_indices():
+    cluster = _cluster(4, MetricsRegistry(), batch_costs=BatchCostModel())
+    queries = [f"query {i:02d}" for i in range(12)]
+    results = cluster.handle_batch(queries)
+    assert [r.query for r in results] == queries
+    assert [r.batch_index for r in results] == list(range(12))
+    assert len({r.batch_id for r in results}) == 1
+    # The window split across replicas, yet attribution stays unique.
+    assert len({r.replica for r in results}) > 1
+
+
+def test_handle_batch_empty_window_is_a_no_op():
+    cluster = _cluster(2, MetricsRegistry())
+    assert cluster.handle_batch([]) == []
+    assert cluster.metrics_totals()["handled"] == 0
+
+
+def test_handle_batch_traced_and_bare_accounting_match():
+    traffic = _zipf_traffic(48)
+
+    def run(trace):
+        registry = MetricsRegistry()
+        cluster = _cluster(2, registry, trace=trace)
+        for start in range(0, len(traffic), 8):
+            cluster.handle_batch(traffic[start:start + 8])
+            cluster.clock.advance(0.002)
+        cluster.flush()
+        return cluster.metrics_totals(), cluster.busy_horizon_s
+
+    traced, traced_horizon = run(True)
+    bare, bare_horizon = run(False)
+    assert traced == bare
+    assert traced_horizon == bare_horizon

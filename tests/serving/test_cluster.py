@@ -74,6 +74,33 @@ def test_scheduler_flush_resets_the_deadline_window():
     assert scheduler.should_flush("r0", pending=1, now=12.0) == "deadline"
 
 
+def test_scheduler_mid_window_items_keep_their_own_enqueue_ticks():
+    """Regression: items enqueued mid-window used to inherit the window's
+    first timestamp, so after a partial flush the survivor's deadline
+    fired early (its wait was over-credited by the window age)."""
+    scheduler = AdaptiveBatchScheduler(max_batch_size=100, max_batch_delay_s=5.0)
+    scheduler.note_pending("r0", now=0.0, pending=1)
+    scheduler.note_pending("r0", now=3.0, pending=2)  # second item joins mid-window
+    # Partial flush drains the oldest item; the survivor was enqueued at 3.0.
+    scheduler.flushed("r0", remaining=1)
+    assert scheduler.oldest_wait_s("r0", now=7.0) == pytest.approx(4.0)
+    assert scheduler.should_flush("r0", pending=1, now=7.9) is None
+    assert scheduler.should_flush("r0", pending=1, now=8.0) == "deadline"
+
+
+def test_scheduler_partial_flush_survivors_are_not_restamped():
+    """Regression: leftovers after a partial flush used to be re-stamped
+    at the flush tick, stretching a mid-window item's staleness toward
+    twice ``max_batch_delay_s``."""
+    scheduler = AdaptiveBatchScheduler(max_batch_size=100, max_batch_delay_s=5.0)
+    scheduler.note_pending("r0", now=0.0, pending=3)
+    scheduler.flushed("r0", remaining=2)  # flush at some later tick keeps 2
+    # Survivors still charge from their own enqueue at t=0, not the flush.
+    assert scheduler.should_flush("r0", pending=2, now=5.0) == "deadline"
+    scheduler.flushed("r0")
+    assert scheduler.oldest_wait_s("r0", now=9.0) == 0.0
+
+
 def test_scheduler_empty_queue_clears_window():
     scheduler = AdaptiveBatchScheduler(max_batch_size=4, max_batch_delay_s=5.0)
     scheduler.note_pending("r0", now=0.0)

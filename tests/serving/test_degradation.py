@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.llm.interface import Generation, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, LatencyModel
 from repro.serving import (
     CircuitBreaker,
     CosmoService,
@@ -31,12 +31,12 @@ class Scripted:
     def __init__(self):
         self.latency = LatencyModel()
 
-    def generate_knowledge(self, prompts):
-        return [
+    def generate_batch(self, prompts):
+        return GenerationBatch(generations=[
             Generation(text=f"it is used for {p}.", tokens=8,
                        latency_s=self.latency.charge(self.parameter_count, 8))
             for p in prompts
-        ]
+        ])
 
 
 def _service(plan=None, seed=0, **kwargs):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.llm.interface import Generation, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, LatencyModel
 from repro.serving import (
     FaultInjector,
     FaultPlan,
@@ -20,13 +20,16 @@ class Scripted:
         self.latency = LatencyModel()
         self.calls = 0
 
-    def generate_knowledge(self, prompts):
+    def generate_batch(self, prompts):
         self.calls += 1
-        return [
+        return GenerationBatch(generations=[
             Generation(text=f"it is used for {p}.", tokens=8,
                        latency_s=self.latency.charge(self.parameter_count, 8))
             for p in prompts
-        ]
+        ])
+
+    def generate_knowledge(self, prompts):
+        return self.generate_batch(prompts).require()
 
 
 def _drive(generator, prompts, n):

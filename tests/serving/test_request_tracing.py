@@ -19,7 +19,7 @@ class BrokenGenerator:
         self.latency = self.inner.latency
         self.parameter_count = self.inner.parameter_count
 
-    def generate_knowledge(self, prompts):
+    def generate_batch(self, prompts):
         self.latency.charge(self.parameter_count, 1)
         raise GeneratorFault("scripted outage")
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.llm.interface import Generation, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, LatencyModel
 from repro.serving import (
     BreakerState,
     CircuitBreaker,
@@ -24,12 +24,12 @@ class Scripted:
     def __init__(self):
         self.latency = LatencyModel()
 
-    def generate_knowledge(self, prompts):
-        return [
+    def generate_batch(self, prompts):
+        return GenerationBatch(generations=[
             Generation(text=f"it is used for {p}.", tokens=8,
                        latency_s=self.latency.charge(self.parameter_count, 8))
             for p in prompts
-        ]
+        ])
 
 
 def _flaky(plan, seed=0):
@@ -136,14 +136,15 @@ def test_retries_recover_from_transient_errors():
             self.latency = LatencyModel()
             self.calls = 0
 
-        def generate_knowledge(self, prompts):
+        def generate_batch(self, prompts):
             self.calls += 1
             if self.calls <= 2:
                 from repro.serving import GeneratorError
                 raise GeneratorError("transient")
-            return [Generation(text=f"it is used for {p}.", tokens=8,
-                               latency_s=self.latency.charge(self.parameter_count, 8))
-                    for p in prompts]
+            return GenerationBatch(generations=[
+                Generation(text=f"it is used for {p}.", tokens=8,
+                           latency_s=self.latency.charge(self.parameter_count, 8))
+                for p in prompts])
 
     clock = SimClock()
     policy = RetryPolicy(max_attempts=4, base_backoff_s=0.05,
@@ -181,13 +182,14 @@ def test_garbage_generations_are_retried_per_prompt():
             self.latency = LatencyModel()
             self.calls = 0
 
-        def generate_knowledge(self, prompts):
+        def generate_batch(self, prompts):
             self.calls += 1
             texts = [f"it is used for {p}." for p in prompts]
             if self.calls == 1:
                 texts = ["" for _ in prompts[:1]] + texts[1:]
             self.latency.charge(self.parameter_count, 8)
-            return [Generation(text=t, tokens=8, latency_s=0.0) for t in texts]
+            return GenerationBatch(generations=[
+                Generation(text=t, tokens=8, latency_s=0.0) for t in texts])
 
     inner = GarbageOnce()
     resilient = ResilientGenerator(inner, SimClock(),

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.llm.interface import Generation, LatencyModel
+from repro.llm.interface import Generation, GenerationBatch, LatencyModel
 from repro.serving import (
     AsyncCacheStore,
     CosmoService,
@@ -29,7 +29,7 @@ class FakeGenerator:
         self.parameter_count = 1_000_000
         self.calls = 0
 
-    def generate_knowledge(self, prompts):
+    def generate_batch(self, prompts):
         self.calls += 1
         outputs = []
         for prompt in prompts:
@@ -37,7 +37,7 @@ class FakeGenerator:
             outputs.append(
                 Generation(text=f"it is used for {prompt}.", tokens=8, latency_s=latency)
             )
-        return outputs
+        return GenerationBatch(generations=outputs)
 
 
 # -- clock ---------------------------------------------------------------
@@ -235,10 +235,11 @@ def test_flash_sale_staleness_mechanism():
     class Stateful(FakeGenerator):
         mode = "before"
 
-        def generate_knowledge(self, prompts):
-            outs = super().generate_knowledge(prompts)
-            return [Generation(text=f"{o.text} {self.mode}", tokens=o.tokens,
-                               latency_s=o.latency_s) for o in outs]
+        def generate_batch(self, prompts):
+            outs = super().generate_batch(prompts).generations
+            return GenerationBatch(generations=[
+                Generation(text=f"{o.text} {self.mode}", tokens=o.tokens,
+                           latency_s=o.latency_s) for o in outs])
 
     generator = Stateful()
     service = CosmoService(generator)
