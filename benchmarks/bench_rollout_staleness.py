@@ -26,6 +26,7 @@ from repro.obs import EventLog, SloEvaluator, TimeSeriesCollector
 from repro.refresh import (
     RolloutController,
     SnapshotGenerator,
+    SnapshotQualityGate,
     SnapshotStore,
     build_snapshot,
     mixed_version_violation,
@@ -77,7 +78,8 @@ def _drive(mode: str, traffic: list[int], registry) -> dict:
     evaluator = SloEvaluator(
         registry, rollout_slo_specs(SCRAPE_INTERVAL_S), event_log=event_log)
     collector = TimeSeriesCollector(registry, interval_s=SCRAPE_INTERVAL_S)
-    controller = RolloutController(cluster, store, green, evaluator)
+    controller = RolloutController(cluster, store, green, evaluator,
+                                   quality_gate=SnapshotQualityGate(store))
 
     deploy_ts = None
     last_blue_ts = None

@@ -15,10 +15,19 @@ Usage::
     python scripts/check_perf_baseline.py \
         [--results benchmarks/results/cluster_scaling.json] \
         [--baseline benchmarks/baselines/cluster_scaling.json] \
-        [--tolerance 0.10] [--update]
+        [--tolerance 0.10] [--update] \
+        [--history benchmarks/BENCH_trajectory.json] [--note <sha>]
 
 ``--update`` rewrites the baseline from the current results instead of
 checking (for intentional perf changes; commit the diff).
+
+``--history`` appends this run's per-arm summary (and deltas against
+the baseline, when one exists) to a perf-trajectory JSON file, creating
+it on first use.  Entries carry a monotonically increasing sequence
+number and an optional ``--note`` (CI passes the commit SHA) instead of
+timestamps, so the file is reproducible in tests and meaningful across
+machines; the perf-smoke CI job uploads it as an artifact, giving the
+throughput numbers a visible history instead of a single pass/fail bit.
 """
 
 from __future__ import annotations
@@ -71,6 +80,51 @@ def check(results_path: pathlib.Path, baseline_path: pathlib.Path,
     return 0
 
 
+def append_history(history_path: pathlib.Path, results_path: pathlib.Path,
+                   baseline_path: pathlib.Path, note: str) -> None:
+    """Append one trajectory entry; create the history file if needed.
+
+    Each entry is deterministic for deterministic results: sequence
+    number, per-arm throughput/p99, fractional deltas vs the baseline
+    (omitted when no baseline exists yet), and the caller's note.
+    """
+    results = json.loads(results_path.read_text())
+    current = _arms_by_replicas(results)
+    expected: dict[int, dict] = {}
+    if baseline_path.exists():
+        expected = _arms_by_replicas(json.loads(baseline_path.read_text()))
+
+    if history_path.exists():
+        history = json.loads(history_path.read_text())
+    else:
+        history = {"format": "bench-trajectory", "version": 1, "runs": []}
+    if history.get("format") != "bench-trajectory":
+        raise ValueError(f"{history_path}: not a bench-trajectory file")
+
+    arms = []
+    for replicas, arm in sorted(current.items()):
+        entry = {
+            "replicas": replicas,
+            "throughput": arm["throughput"],
+            "p99_ms": arm.get("p99_ms"),
+        }
+        base = expected.get(replicas)
+        if base is not None and base.get("throughput"):
+            entry["delta_vs_baseline"] = round(
+                (arm["throughput"] - base["throughput"]) / base["throughput"], 6)
+        arms.append(entry)
+    history["runs"].append({
+        "sequence": len(history["runs"]),
+        "note": note,
+        "arms": arms,
+    })
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    history_path.write_text(json.dumps(history, sort_keys=True, indent=2)
+                            + "\n")
+    print(f"history: appended run #{len(history['runs']) - 1} "
+          f"({len(arms)} arm(s)) to {history_path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--results", type=pathlib.Path,
@@ -81,6 +135,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed fractional throughput drop (default 0.10)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current results")
+    parser.add_argument("--history", type=pathlib.Path, default=None,
+                        metavar="PATH", nargs="?",
+                        const=REPO_ROOT / "benchmarks" / "BENCH_trajectory.json",
+                        help="append this run to a perf-trajectory file "
+                             "(default benchmarks/BENCH_trajectory.json)")
+    parser.add_argument("--note", type=str, default="",
+                        help="free-form label for the history entry "
+                             "(CI passes the commit SHA)")
     args = parser.parse_args(argv)
 
     if not args.results.exists():
@@ -92,6 +154,8 @@ def main(argv: list[str] | None = None) -> int:
         shutil.copyfile(args.results, args.baseline)
         print(f"baseline updated from {args.results}")
         return 0
+    if args.history is not None:
+        append_history(args.history, args.results, args.baseline, args.note)
     if not args.baseline.exists():
         print(f"FAIL: no baseline at {args.baseline} — "
               "run with --update to create one")

@@ -13,6 +13,8 @@ Usage::
         --out-timeline timeline.json --out-alerts alerts.json --out-events events.jsonl
     python -m repro.cli rollout --seed 0 --scenario poisoned \
         --out-timeline timeline.json --out-alerts alerts.json --out-events events.jsonl
+    python -m repro.cli kghealth --seed 0 --scenario poisoned \
+        --out-health kg_health.json --out-events events.jsonl
 """
 
 from __future__ import annotations
@@ -780,6 +782,7 @@ def cmd_rollout(args: argparse.Namespace) -> int:
     from repro.refresh import (
         RolloutController,
         SnapshotGenerator,
+        SnapshotQualityGate,
         SnapshotStore,
         build_snapshot,
         mixed_version_violation,
@@ -822,7 +825,12 @@ def cmd_rollout(args: argparse.Namespace) -> int:
                               latency_slo_s=args.latency_slo_s)
     evaluator = SloEvaluator(registry, specs, event_log=event_log)
     collector = TimeSeriesCollector(registry, interval_s=args.scrape_interval_s)
-    controller = RolloutController(cluster, store, green, evaluator)
+    # Both scenarios' snapshots carry no triples, so the knowledge gate
+    # has nothing to drift on and passes; the poisoned scenario's empty
+    # *serving table* is exactly what the SLO guard exists to catch.
+    gate = SnapshotQualityGate(store, registry=registry)
+    controller = RolloutController(cluster, store, green, evaluator,
+                                   quality_gate=gate)
 
     rng = spawn_rng(args.seed, "rollout-traffic")
     weights = 1.0 / np.arange(1, args.n_queries + 1) ** 1.3
@@ -907,6 +915,216 @@ def cmd_rollout(args: argparse.Namespace) -> int:
     if not ok:
         return 2
     return 1 if violations else 0
+
+
+def cmd_kghealth(args: argparse.Namespace) -> int:
+    """Knowledge-plane health drive: snapshot drift gating under traffic.
+
+    The inverse failure mode of the ``rollout`` drive.  There, the
+    poisoned snapshot has a broken *serving table* and the SLO guard
+    catches it; here, both scenarios' green snapshots serve every query
+    perfectly — requests stay fast and answered throughout — but the
+    ``poisoned`` scenario's *knowledge* is corrupted: every triple
+    collapsed onto one relation with cratered plausibility scores, the
+    drift signature of a refresh gone wrong.  Serving SLOs cannot see
+    that, so the :class:`~repro.refresh.quality.SnapshotQualityGate`
+    must block the rollout before the first replica is touched, while
+    the ``healthy`` scenario (organic ~8% edge growth, same mix) must
+    promote to completion.
+
+    Artifacts: a ``repro.obs.kg_health/v1`` document (parent + candidate
+    health, the drift report, the gate decision) and the
+    ``repro.obs.events/v1`` log carrying the ``rollout.gate_*`` edges.
+    Both replay byte-identically for fixed arguments.  Exit code 2 means
+    request accounting broke, 1 means the gate tripped (blocked or
+    knowledge-quality rollback) or a mixed-version answer leaked, 0 a
+    clean promotion — so healthy exits 0 and poisoned exits 1 by
+    construction.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.core.relations import Relation
+    from repro.core.triples import KnowledgeTriple
+    from repro.obs import (
+        EventLog,
+        MetricsRegistry,
+        SloEvaluator,
+        TimeSeriesCollector,
+        kg_health_report,
+        render_events,
+        validate_events,
+        validate_kg_health,
+    )
+    from repro.refresh import (
+        RolloutController,
+        SnapshotGenerator,
+        SnapshotQualityGate,
+        SnapshotStore,
+        build_snapshot,
+        mixed_version_violation,
+        rollout_slo_specs,
+    )
+    from repro.serving import ClusterConfig, CosmoCluster
+    from repro.utils.rng import spawn_rng
+
+    def scripted_ok(text: str) -> bool:
+        return bool(text.strip()) and text.rstrip().endswith(".")
+
+    queries = [f"query {i:03d}" for i in range(args.n_queries)]
+    relations = (Relation.USED_FOR_FUNC, Relation.CAPABLE_OF, Relation.USED_TO,
+                 Relation.USED_FOR_AUD, Relation.USED_WITH)
+    domains = ("Apparel", "Electronics", "Grocery", "Home")
+
+    def edges(count: int, offset: int = 0,
+              relation_cycle: tuple = relations,
+              plaus_base: float = 0.55, plaus_span: float = 0.4) -> list:
+        # Deterministic arithmetic, no RNG: the same arguments always
+        # produce the same triples, so snapshot versions are stable.
+        out = []
+        for k in range(offset, offset + count):
+            out.append(KnowledgeTriple(
+                head=queries[(k // 2) % len(queries)],
+                relation=relation_cycle[k % len(relation_cycle)],
+                tail=f"intent {k % 23:02d}",
+                domain=domains[k % len(domains)],
+                behavior="search-buy" if k % 3 else "co-buy",
+                plausibility=plaus_base + plaus_span * ((k * 37) % 100) / 100.0,
+                typicality=0.45 + 0.5 * ((k * 53) % 100) / 100.0,
+                support=1 + k % 3,
+            ))
+        return out
+
+    blue_triples = edges(2 * args.n_queries)
+    blue = build_snapshot({q: f"it is used for {q} (blue)." for q in queries},
+                          blue_triples, note="blue baseline")
+    green_entries = {q: f"it is used for {q} (green)." for q in queries}
+    if args.scenario == "healthy":
+        growth = max(4, args.n_queries // 6)
+        green = build_snapshot(green_entries,
+                               blue_triples + edges(growth,
+                                                    offset=2 * args.n_queries),
+                               parent=blue, note="green refresh")
+    else:
+        # The serving table is complete — requests will be answered and
+        # no SLO will burn — but the knowledge behind it collapsed onto
+        # IS_A with near-zero plausibility.  Only the gate can see this.
+        green = build_snapshot(green_entries,
+                               edges(2 * args.n_queries,
+                                     relation_cycle=(Relation.IS_A,),
+                                     plaus_base=0.03, plaus_span=0.0),
+                               parent=blue, note="poisoned refresh")
+    store = SnapshotStore()
+    store.add(blue)
+
+    config = ClusterConfig(
+        n_replicas=args.replicas,
+        max_batch_size=args.max_batch_size,
+        max_batch_delay_s=args.max_batch_delay_s,
+        max_queue_depth=args.max_queue_depth,
+        seed=args.seed,
+    )
+    registry = MetricsRegistry()
+    event_log = EventLog(registry=registry)
+    cluster = CosmoCluster(lambda index: SnapshotGenerator(blue), config=config,
+                           registry=registry, event_log=event_log,
+                           response_validator=scripted_ok)
+    cluster.install_snapshot(blue)
+
+    specs = rollout_slo_specs(args.scrape_interval_s,
+                              latency_slo_s=args.latency_slo_s)
+    evaluator = SloEvaluator(registry, specs, event_log=event_log)
+    collector = TimeSeriesCollector(registry, interval_s=args.scrape_interval_s)
+    gate = SnapshotQualityGate(store, registry=registry)
+    controller = RolloutController(cluster, store, green, evaluator,
+                                   quality_gate=gate)
+
+    rng = spawn_rng(args.seed, "kghealth-traffic")
+    weights = 1.0 / np.arange(1, args.n_queries + 1) ** 1.3
+    weights /= weights.sum()
+    gap_s = args.inter_arrival_ms / 1000.0
+    violations = 0
+
+    def drive(n_requests: int, rolling: bool) -> None:
+        nonlocal violations
+        picks = rng.choice(args.n_queries, size=n_requests, p=weights)
+        for pick in picks:
+            result = cluster.handle(queries[int(pick)])
+            if mixed_version_violation(store, cluster, result):
+                violations += 1
+            cluster.clock.advance(gap_s)
+            for ts in collector.maybe_scrape(cluster.clock.now()):
+                evaluator.evaluate(ts)
+                if rolling and not controller.done:
+                    controller.tick(ts)
+
+    print(f"KG health drive: scenario {args.scenario}, "
+          f"{config.n_replicas} replica(s), {blue.version} -> {green.version}, "
+          f"scrape every {args.scrape_interval_s:g}s...")
+    drive(args.requests_per_phase, rolling=False)        # warm: all-blue baseline
+    drive(2 * args.requests_per_phase, rolling=True)     # gated rollout window
+    drive(args.requests_per_phase, rolling=False)        # settle: steady state
+    cluster.flush()
+
+    decision = gate.assess(green)   # cached from the controller's ticks
+    health_doc = kg_health_report(
+        [decision.parent_health, decision.health]
+        if decision.parent_health is not None else [decision.health],
+        drift=[decision.drift] if decision.drift is not None else [],
+        gates=[decision],
+    )
+    validate_kg_health(health_doc)
+    events_text = render_events(event_log)
+    validate_events(events_text)
+    if args.out_health:
+        with open(args.out_health, "w") as handle:
+            handle.write(json.dumps(health_doc, sort_keys=True, indent=2) + "\n")
+        print(f"Wrote kg-health report to {args.out_health}")
+    if args.out_events:
+        with open(args.out_events, "w") as handle:
+            handle.write(events_text)
+        print(f"Wrote event log to {args.out_events}")
+
+    rollout = controller.report()
+    totals = cluster.metrics_totals()
+    parent_health = decision.parent_health
+    table = Table("KG health drive", ["Metric", "Value"])
+    table.add_row("Scenario", args.scenario)
+    table.add_row("Gate verdict", "PROMOTE" if decision.promote else "BLOCK")
+    table.add_row("Drift breaches", len(decision.breaches))
+    table.add_row("Rollout state", rollout.state)
+    table.add_row("Candidate triples / nodes",
+                  f"{decision.health.triples} / {decision.health.nodes}")
+    if parent_health is not None:
+        table.add_row("Parent triples / nodes",
+                      f"{parent_health.triples} / {parent_health.nodes}")
+    table.add_row("Candidate mean plausibility",
+                  f"{decision.health.plausibility.mean:.3f}")
+    table.add_row("Requests", totals["requests"])
+    table.add_row("Availability (served)", format_percent(cluster.availability))
+    table.add_row("Mixed-version answers", violations)
+    print(table.render())
+    for breach in decision.breaches:
+        print(f"drift breach: {breach}")
+    versions = cluster.snapshot_versions()
+    print("replica versions: "
+          + ", ".join(f"{r}={v}" for r, v in sorted(versions.items())))
+    gate_tripped = (rollout.blocked
+                    or rollout.rollback_objective == "knowledge-quality")
+    print(f"gate verdict: {'BLOCK' if gate_tripped else 'PROMOTE'}")
+    print(f"SLO verdict: {'ALERTS FIRED' if evaluator.any_fired else 'no alerts fired'}")
+
+    accounted = (totals["served_fresh"] + totals["degraded_serves"]
+                 + totals["fallbacks"])
+    ok = accounted == totals["requests"] == totals["handled"]
+    print(f"request accounting: fresh + degraded + fallbacks = {accounted} "
+          f"== requests = {totals['requests']}: {'OK' if ok else 'VIOLATED'}")
+    print(f"mixed-version answers: {violations} "
+          f"({'OK' if violations == 0 else 'VIOLATED'})")
+    if not ok:
+        return 2
+    return 1 if gate_tripped or violations else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -1102,6 +1320,37 @@ def build_parser() -> argparse.ArgumentParser:
     rollout.add_argument("--out-events", type=str, default="",
                          help="write the repro.obs.events/v1 JSONL here")
     rollout.set_defaults(func=cmd_rollout)
+
+    kghealth = sub.add_parser(
+        "kghealth",
+        help="knowledge-plane health drive: snapshot drift detection "
+             "and quality-gated rollout")
+    kghealth.add_argument("--seed", type=int, default=7)
+    kghealth.add_argument("--scenario", choices=("healthy", "poisoned"),
+                          default="healthy",
+                          help="healthy rolls an organically-grown snapshot "
+                               "to completion; poisoned rolls one whose "
+                               "knowledge collapsed (relation mix + critic "
+                               "scores) and must be gate-blocked")
+    kghealth.add_argument("--replicas", type=int, default=3)
+    kghealth.add_argument("--requests-per-phase", type=int, default=500,
+                          help="requests in the warm and settle phases (the "
+                               "rollout phase drives twice this)")
+    kghealth.add_argument("--n-queries", type=int, default=120,
+                          help="distinct queries in the Zipf traffic universe")
+    kghealth.add_argument("--inter-arrival-ms", type=float, default=5.0)
+    kghealth.add_argument("--scrape-interval-s", type=float, default=0.5,
+                          help="scrape grid; the controller advances one "
+                               "rollout step per scrape")
+    kghealth.add_argument("--latency-slo-s", type=float, default=0.25)
+    kghealth.add_argument("--max-batch-size", type=int, default=16)
+    kghealth.add_argument("--max-batch-delay-s", type=float, default=0.25)
+    kghealth.add_argument("--max-queue-depth", type=int, default=300)
+    kghealth.add_argument("--out-health", type=str, default="",
+                          help="write the repro.obs.kg_health/v1 JSON here")
+    kghealth.add_argument("--out-events", type=str, default="",
+                          help="write the repro.obs.events/v1 JSONL here")
+    kghealth.set_defaults(func=cmd_kghealth)
 
     lint = sub.add_parser(
         "lint", help="run cosmolint, the repo's static invariant checker")

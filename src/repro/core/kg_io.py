@@ -140,12 +140,53 @@ def save_kg_columnar(kg: KnowledgeGraph, path: str | pathlib.Path) -> int:
     return len(kg)
 
 
+def _check_columnar(path: pathlib.Path, columns: dict, tables: dict,
+                    lengths: np.ndarray, n_flat: int) -> None:
+    """Validate a columnar archive's internal consistency before replay.
+
+    A truncated or hand-edited archive must fail with a ``ValueError``
+    naming the inconsistency, never with a numpy ``IndexError`` halfway
+    through reconstruction: every numeric column must be one value per
+    edge, the ragged ``head_ids`` lengths must be non-negative, one per
+    edge and sum to the flat value count, and every intern id must
+    resolve inside its stored table.
+    """
+    edges = len(columns["head"])
+    for name in _NUMERIC_COLUMNS:
+        if len(columns[name]) != edges:
+            raise ValueError(
+                f"{path}: column {name!r} has {len(columns[name])} values "
+                f"for {edges} edges"
+            )
+    if len(lengths) != edges:
+        raise ValueError(
+            f"{path}: head_ids_len has {len(lengths)} entries for "
+            f"{edges} edges"
+        )
+    if len(lengths) and int(np.min(lengths)) < 0:
+        raise ValueError(f"{path}: head_ids_len contains negative lengths")
+    if int(np.sum(lengths)) != n_flat:
+        raise ValueError(f"{path}: head_ids lengths disagree with flat values")
+    bounds = {"head": "nodes", "tail": "nodes", "relation": "relations",
+              "domain": "domains", "behavior": "behaviors"}
+    for name, table in bounds.items():
+        ids = columns[name]
+        if len(ids) and (int(np.min(ids)) < 0
+                         or int(np.max(ids)) >= len(tables[table])):
+            raise ValueError(
+                f"{path}: column {name!r} has ids outside the "
+                f"{table!r} table (size {len(tables[table])})"
+            )
+
+
 def load_kg_columnar(path: str | pathlib.Path) -> KnowledgeGraph:
     """Load a KG previously written by :func:`save_kg_columnar`.
 
     Edges are replayed through :meth:`KnowledgeGraph.add` in row order
     — identical merge/stats bookkeeping, one code path to trust — with
-    strings resolved through the stored intern tables.
+    strings resolved through the stored intern tables.  The archive is
+    validated wholesale first (:func:`_check_columnar`), so a truncated
+    or inconsistent file fails loudly before any edge is built.
     """
     path = pathlib.Path(path)
     with np.load(path, allow_pickle=False) as archive:
@@ -156,13 +197,18 @@ def load_kg_columnar(path: str | pathlib.Path) -> KnowledgeGraph:
                 f"{path}: unsupported columnar version {int(archive['version'])} "
                 f"(expected {_COLUMNAR_VERSION})"
             )
+        missing = [name for name in
+                   _NUMERIC_COLUMNS + _TABLE_COLUMNS
+                   + ("head_ids_len", "head_ids_flat")
+                   if name not in archive]
+        if missing:
+            raise ValueError(f"{path}: archive is missing columns {missing}")
         columns = {name: archive[name] for name in _NUMERIC_COLUMNS}
         tables = {name: [str(value) for value in archive[name]]
                   for name in _TABLE_COLUMNS}
         lengths = archive["head_ids_len"]
         flat = [str(value) for value in archive["head_ids_flat"]]
-    if int(np.sum(lengths)) != len(flat):
-        raise ValueError(f"{path}: head_ids lengths disagree with flat values")
+    _check_columnar(path, columns, tables, lengths, len(flat))
     kg = KnowledgeGraph()
     cursor = 0
     for row in range(len(columns["head"])):

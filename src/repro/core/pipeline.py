@@ -120,9 +120,20 @@ class CosmoPipeline:
             "pipeline_llm_simulated_seconds_total",
             "simulated LLM seconds consumed, by model", ("model",),
         )
+        # The knowledge funnel (candidates → filtered → critic_accepted):
+        # the stage counter above tracks *all* stages; this one tracks
+        # only the narrowing quality path, in the shape
+        # obs.kg_health.funnel_from_registry folds into health reports.
+        self._funnel_items = self.registry.counter(
+            "pipeline_funnel_total",
+            "knowledge funnel items per stage", ("stage",),
+        )
 
     def _count(self, stage: str, items: int) -> None:
         self._stage_items.labels(stage=stage).inc(items)
+
+    def _funnel(self, stage: str, items: int) -> None:
+        self._funnel_items.labels(stage=stage).inc(items)
 
     # ------------------------------------------------------------------
     def run(self) -> PipelineResult:
@@ -182,6 +193,7 @@ class CosmoPipeline:
             )
             span.set_attribute("candidates", len(candidates))
         self._count("teacher_generation", len(candidates))
+        self._funnel("candidates", len(candidates))
 
         # 4. Refinement (§3.3.1).
         with self.tracer.span("pipeline.filtering") as span:
@@ -190,6 +202,7 @@ class CosmoPipeline:
             filtered, filter_report = knowledge_filter.apply(candidates)
             span.set_attribute("kept", len(filtered))
         self._count("filtering", len(filtered))
+        self._funnel("filtered", len(filtered))
 
         # 5. Annotation sampling (Eq. 2) + human-in-the-loop labeling.
         with self.tracer.span("pipeline.annotation") as span:
@@ -234,6 +247,7 @@ class CosmoPipeline:
             refined = critic.populate(filtered)
             span.set_attribute("refined", len(refined))
         self._count("critic", len(refined))
+        self._funnel("critic_accepted", len(refined))
 
         # 7. Instruction data (§3.4) and COSMO-LM finetuning.
         with self.tracer.span("pipeline.instruction_build") as span:

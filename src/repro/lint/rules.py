@@ -27,6 +27,7 @@ __all__ = [
     "AllConsistencyRule",
     "EventLogOnlyRule",
     "SnapshotBuilderOnlyRule",
+    "SnapshotHealthGateRule",
     "TraceIdContractRule",
 ]
 
@@ -365,6 +366,56 @@ class SnapshotBuilderOnlyRule(LintRule):
                     "addressed builder; create snapshots with "
                     "repro.refresh.build_snapshot so the version id stays "
                     "a trustworthy checksum",
+                )
+        self.generic_visit(node)
+
+
+@register
+class SnapshotHealthGateRule(LintRule):
+    """Rollout controllers must be constructed with a snapshot quality
+    gate.
+
+    The SLO guard only sees *serving* damage; a refresh whose knowledge
+    drifted — relation mix collapsed, critic scores cratered — serves
+    requests perfectly and sails past every alert (DESIGN.md §14).  The
+    :class:`~repro.refresh.quality.SnapshotQualityGate` is the guard for
+    that failure mode, and it only protects rollouts it is wired into:
+    a ``RolloutController(...)`` call without a ``quality_gate=``
+    argument (or with an explicit ``quality_gate=None``) ships an
+    ungated promotion path.  The refresh package itself is exempt — it
+    defines the controller and the gate.
+    """
+
+    id = "snapshot-health-gate"
+    summary = "RolloutController construction must pass a quality_gate"
+    invariant = "no snapshot promotes without a knowledge-drift check (DESIGN.md §14)"
+
+    @classmethod
+    def applies_to(cls, context: FileContext) -> bool:
+        return "refresh" not in context.parts[:-1]
+
+    def check(self, tree: ast.Module) -> list[Diagnostic]:
+        self._imports = ImportMap(tree)
+        return super().check(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._imports.resolve(node.func)
+        if (name is not None and name.startswith("repro.")
+                and name.rsplit(".", 1)[-1] == "RolloutController"):
+            gate = next((kw.value for kw in node.keywords
+                         if kw.arg == "quality_gate"), None)
+            if gate is None and not any(kw.arg is None for kw in node.keywords):
+                self.report(
+                    node,
+                    "RolloutController constructed without a quality_gate; "
+                    "pass a repro.refresh.SnapshotQualityGate so drifted "
+                    "knowledge is blocked before promotion",
+                )
+            elif (isinstance(gate, ast.Constant) and gate.value is None):
+                self.report(
+                    node,
+                    "quality_gate=None disables the knowledge-drift guard; "
+                    "pass a repro.refresh.SnapshotQualityGate instead",
                 )
         self.generic_visit(node)
 

@@ -21,10 +21,28 @@ Continuous monitoring (DESIGN.md §11) builds on those parts:
   burn-rate rules and a pending→firing→resolved alert state machine
   that cross-references event ids.
 
+Knowledge-plane observability (DESIGN.md §14) extends the same
+discipline to the data the system serves:
+
+* :mod:`repro.obs.kg_health` — per-snapshot :class:`KgHealthReport`
+  computed in one vectorized pass over the KG's columnar arrays, with a
+  ``repro.obs.kg_health/v1`` export + validator;
+* :mod:`repro.obs.drift` — parent→child distribution-shift scoring
+  (Jensen–Shannon mixes, critic-score shift, edge churn) under
+  declarative :class:`DriftRule` thresholds.
+
 Exporters live in :mod:`repro.obs.export` (text, JSON snapshot with a
 validating schema, Prometheus exposition format).
 """
 
+from repro.obs.drift import (
+    DriftBreach,
+    DriftReport,
+    DriftRule,
+    default_drift_rules,
+    evaluate_drift,
+    js_divergence,
+)
 from repro.obs.events import (
     EVENTS_SCHEMA,
     Event,
@@ -38,6 +56,17 @@ from repro.obs.export import (
     render_text,
     snapshot,
     validate_snapshot,
+)
+from repro.obs.kg_health import (
+    KG_HEALTH_SCHEMA,
+    DegreeSummary,
+    KgHealthReport,
+    ScoreHistogram,
+    compute_kg_health,
+    funnel_from_registry,
+    kg_health_report,
+    publish_kg_health,
+    validate_kg_health,
 )
 from repro.obs.slo import (
     ALERTS_SCHEMA,
@@ -132,4 +161,19 @@ __all__ = [
     "SloEvaluator",
     "alert_report",
     "validate_alert_report",
+    "KG_HEALTH_SCHEMA",
+    "DegreeSummary",
+    "ScoreHistogram",
+    "KgHealthReport",
+    "compute_kg_health",
+    "publish_kg_health",
+    "funnel_from_registry",
+    "kg_health_report",
+    "validate_kg_health",
+    "DriftRule",
+    "DriftBreach",
+    "DriftReport",
+    "default_drift_rules",
+    "evaluate_drift",
+    "js_divergence",
 ]

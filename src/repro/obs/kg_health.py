@@ -1,0 +1,512 @@
+"""Knowledge-plane health: per-snapshot KG quality metrics.
+
+The serving plane answers "are requests fast and successful"; this
+module answers "is the *knowledge* itself healthy".  A
+:class:`KgHealthReport` is computed in one vectorized pass directly off
+a knowledge graph's columnar arrays (the ``columns()`` surface of
+:class:`~repro.core.kg.KnowledgeGraph` — id columns, intern tables and
+the lazy CSR ordering all reduce to ``np.bincount``/``np.histogram``
+calls here):
+
+* triple counts and per-relation / per-domain / per-behavior edge
+  distributions (the relation-mix a drifting refresh corrupts first);
+* head/tail degree distributions (hub collapse or explosion);
+* critic-score histograms for plausibility and typicality (the Table 4
+  quality signal — a snapshot whose scores collapsed is poisoned even
+  if it serves fast);
+* dedup accounting (support mass vs distinct edges) and the pipeline
+  funnel (candidates → filtered → critic-accepted).
+
+Reports publish into the shared
+:class:`~repro.obs.metrics.MetricsRegistry` as labeled gauges and
+export as a byte-deterministic ``repro.obs.kg_health/v1`` document
+(:func:`kg_health_report` / :func:`validate_kg_health`), the same
+exporter/validator pairing every other obs artifact uses.
+
+Layering: this module is pure observation — it consumes a plain
+``columns()`` mapping and never imports the core or refresh packages
+(``obs`` depends only on ``utils``).  The adapter that walks snapshots
+and stores lives in :mod:`repro.refresh.quality`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "KG_HEALTH_SCHEMA",
+    "SCORE_BUCKET_EDGES",
+    "DEGREE_BUCKETS",
+    "FUNNEL_STAGES",
+    "DegreeSummary",
+    "ScoreHistogram",
+    "KgHealthReport",
+    "compute_kg_health",
+    "publish_kg_health",
+    "funnel_from_registry",
+    "kg_health_report",
+    "validate_kg_health",
+]
+
+KG_HEALTH_SCHEMA = "repro.obs.kg_health/v1"
+
+#: Critic scores live in [0, 1]; ten equal-width bins.
+SCORE_BUCKET_EDGES: tuple[float, ...] = tuple(round(i / 10.0, 1) for i in range(11))
+
+#: Power-of-two degree bucket upper bounds; one implicit +Inf overflow.
+DEGREE_BUCKETS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: The knowledge funnel stages, widest first.
+FUNNEL_STAGES: tuple[str, ...] = ("candidates", "filtered", "critic_accepted")
+
+#: Counter family the pipeline and refresher publish funnel items into.
+FUNNEL_METRIC = "pipeline_funnel_total"
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Degree distribution of one endpoint column (heads or tails).
+
+    ``buckets`` are cumulative node counts at the :data:`DEGREE_BUCKETS`
+    bounds plus a final ``+Inf`` overflow — the Prometheus histogram
+    shape, so the validator can reuse the non-decreasing invariant.
+    """
+
+    nodes: int
+    max: int
+    mean: float
+    buckets: tuple[tuple[float, int], ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": [
+                {"le": "+Inf" if bound == float("inf") else bound, "count": count}
+                for bound, count in self.buckets
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ScoreHistogram:
+    """Fixed ten-bin histogram of one critic score column."""
+
+    counts: tuple[int, ...]
+    mean: float
+    min: float
+    max: float
+
+    def as_dict(self) -> dict:
+        return {
+            "edges": list(SCORE_BUCKET_EDGES),
+            "counts": list(self.counts),
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+@dataclass(frozen=True)
+class KgHealthReport:
+    """One snapshot's knowledge-plane health, fully JSON-able."""
+
+    version: str
+    parent: str | None
+    triples: int
+    nodes: int
+    entries: int
+    relation_edges: Mapping[str, int]
+    domain_edges: Mapping[str, int]
+    behavior_edges: Mapping[str, int]
+    head_degree: DegreeSummary
+    tail_degree: DegreeSummary
+    plausibility: ScoreHistogram
+    typicality: ScoreHistogram
+    support_total: int
+    merged_edges: int
+    dedup_ratio: float
+    funnel: Mapping[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "parent": self.parent,
+            "triples": self.triples,
+            "nodes": self.nodes,
+            "entries": self.entries,
+            "relation_edges": dict(sorted(self.relation_edges.items())),
+            "domain_edges": dict(sorted(self.domain_edges.items())),
+            "behavior_edges": dict(sorted(self.behavior_edges.items())),
+            "head_degree": self.head_degree.as_dict(),
+            "tail_degree": self.tail_degree.as_dict(),
+            "plausibility": self.plausibility.as_dict(),
+            "typicality": self.typicality.as_dict(),
+            "support_total": self.support_total,
+            "merged_edges": self.merged_edges,
+            "dedup_ratio": self.dedup_ratio,
+            "funnel": dict(sorted(self.funnel.items())),
+        }
+
+
+def _labeled_counts(ids: np.ndarray, table: Sequence[str]) -> dict[str, int]:
+    """Per-label edge counts via one bincount over an id column."""
+    if len(ids) == 0:
+        return {}
+    counts = np.bincount(ids, minlength=len(table))
+    return {table[i]: int(counts[i]) for i in np.nonzero(counts)[0]}
+
+
+def _degree_summary(ids: np.ndarray, n_nodes: int) -> DegreeSummary:
+    """Degree distribution of one endpoint column via bincount."""
+    if len(ids) == 0:
+        buckets = tuple((float(b), 0) for b in DEGREE_BUCKETS) + ((float("inf"), 0),)
+        return DegreeSummary(nodes=0, max=0, mean=0.0, buckets=buckets)
+    degrees = np.bincount(ids, minlength=n_nodes)
+    active = degrees[degrees > 0]
+    bounds = np.array(DEGREE_BUCKETS, dtype=np.float64)
+    cumulative = np.searchsorted(np.sort(active), bounds, side="right")
+    buckets = tuple(
+        (float(b), int(c)) for b, c in zip(DEGREE_BUCKETS, cumulative)
+    ) + ((float("inf"), int(active.size)),)
+    return DegreeSummary(
+        nodes=int(active.size),
+        max=int(active.max()),
+        mean=float(active.mean()),
+        buckets=buckets,
+    )
+
+
+def _score_histogram(values: np.ndarray) -> ScoreHistogram:
+    if len(values) == 0:
+        return ScoreHistogram(counts=(0,) * (len(SCORE_BUCKET_EDGES) - 1),
+                              mean=0.0, min=0.0, max=0.0)
+    clipped = np.clip(values, 0.0, 1.0)
+    counts, _ = np.histogram(clipped, bins=np.asarray(SCORE_BUCKET_EDGES))
+    return ScoreHistogram(
+        counts=tuple(int(c) for c in counts),
+        mean=float(clipped.mean()),
+        min=float(clipped.min()),
+        max=float(clipped.max()),
+    )
+
+
+def compute_kg_health(
+    columns: Mapping[str, Any],
+    *,
+    version: str = "",
+    parent: str | None = None,
+    entries: int = 0,
+    funnel: Mapping[str, int] | None = None,
+) -> KgHealthReport:
+    """One vectorized pass over a graph's ``columns()`` mapping.
+
+    ``columns`` is the surface :meth:`repro.core.kg.KnowledgeGraph.columns`
+    returns: parallel numpy id/score columns plus intern-table string
+    tuples.  Everything here is bincount/histogram work — no per-edge
+    Python loop — so health stays cheap next to snapshot building
+    (``bench_kg_health_overhead`` pins the ratio).
+    """
+    heads = np.asarray(columns["head"])
+    tails = np.asarray(columns["tail"])
+    support = np.asarray(columns["support"])
+    nodes = columns["nodes"]
+    n_edges = int(len(heads))
+    support_total = int(support.sum()) if n_edges else 0
+    merged = int(np.count_nonzero(support > 1)) if n_edges else 0
+    return KgHealthReport(
+        version=version,
+        parent=parent,
+        triples=n_edges,
+        nodes=len(nodes),
+        entries=int(entries),
+        relation_edges=_labeled_counts(np.asarray(columns["relation"]),
+                                       columns["relations"]),
+        domain_edges=_labeled_counts(np.asarray(columns["domain"]),
+                                     columns["domains"]),
+        behavior_edges=_labeled_counts(np.asarray(columns["behavior"]),
+                                       columns["behaviors"]),
+        head_degree=_degree_summary(heads, len(nodes)),
+        tail_degree=_degree_summary(tails, len(nodes)),
+        plausibility=_score_histogram(np.asarray(columns["plausibility"])),
+        typicality=_score_histogram(np.asarray(columns["typicality"])),
+        support_total=support_total,
+        merged_edges=merged,
+        dedup_ratio=(support_total / n_edges) if n_edges else 1.0,
+        funnel=dict(funnel or {}),
+    )
+
+
+def publish_kg_health(report: KgHealthReport, registry: Any) -> None:
+    """Publish one report into a shared metrics registry as gauges.
+
+    Every family is labeled by snapshot ``version`` so successive
+    snapshots coexist in one registry and the time-series scrape loop
+    picks up knowledge health for free.
+    """
+    version = report.version or "unversioned"
+    for name, help_text, value in (
+        ("kg_health_triples", "distinct KG edges in the snapshot", report.triples),
+        ("kg_health_nodes", "interned nodes in the snapshot graph", report.nodes),
+        ("kg_health_entries", "serving-table entries in the snapshot", report.entries),
+        ("kg_health_support_total", "total support mass across edges", report.support_total),
+        ("kg_health_merged_edges", "edges that absorbed duplicates (support > 1)", report.merged_edges),
+        ("kg_health_dedup_ratio", "support mass per distinct edge", report.dedup_ratio),
+        ("kg_health_head_degree_max", "largest head out-degree", report.head_degree.max),
+        ("kg_health_tail_degree_max", "largest tail in-degree", report.tail_degree.max),
+    ):
+        registry.gauge(name, help_text, ("version",)).labels(version=version).set(value)
+    for family, label, counts in (
+        ("kg_health_relation_edges", "relation", report.relation_edges),
+        ("kg_health_domain_edges", "domain", report.domain_edges),
+        ("kg_health_behavior_edges", "behavior", report.behavior_edges),
+    ):
+        gauge = registry.gauge(family, f"edges per {label}", ("version", label))
+        for value_name, count in sorted(counts.items()):
+            gauge.labels(**{"version": version, label: value_name}).set(count)
+    score_gauge = registry.gauge("kg_health_critic_score_mean",
+                                 "mean critic score per dimension",
+                                 ("version", "score"))
+    score_gauge.labels(version=version, score="plausibility").set(report.plausibility.mean)
+    score_gauge.labels(version=version, score="typicality").set(report.typicality.mean)
+    if report.funnel:
+        funnel = registry.gauge("kg_health_funnel_items",
+                                "knowledge funnel items per stage",
+                                ("version", "stage"))
+        for stage, items in sorted(report.funnel.items()):
+            funnel.labels(version=version, stage=stage).set(items)
+
+
+def funnel_from_registry(registry: Any) -> dict[str, int]:
+    """Read the pipeline funnel counters back as a plain stage map.
+
+    The pipeline and the refresher both publish into
+    ``pipeline_funnel_total{stage}``; this folds the family into the
+    ``funnel`` mapping :func:`compute_kg_health` accepts.
+    """
+    if FUNNEL_METRIC not in registry:
+        return {}
+    out: dict[str, int] = {}
+    for labels, child in registry.get(FUNNEL_METRIC).samples():
+        out[labels["stage"]] = int(child.value)
+    return out
+
+
+def _payload(item: Any) -> Mapping[str, Any]:
+    return item.as_dict() if hasattr(item, "as_dict") else item
+
+
+def kg_health_report(
+    reports: Sequence[KgHealthReport],
+    drift: Sequence[Any] = (),
+    gates: Sequence[Any] = (),
+) -> dict:
+    """The ``repro.obs.kg_health/v1`` document: snapshot health reports
+    in lineage order, plus any drift reports and gate decisions.
+
+    ``drift`` / ``gates`` items may be dataclasses with ``as_dict`` (the
+    shapes from :mod:`repro.obs.drift` and
+    :mod:`repro.refresh.quality`) or already-rendered mappings.  Fully
+    deterministic for deterministic inputs — no timestamps, no ids.
+    """
+    return {
+        "schema": KG_HEALTH_SCHEMA,
+        "snapshots": [report.as_dict() for report in reports],
+        "drift": [dict(_payload(item)) for item in drift],
+        "gates": [dict(_payload(item)) for item in gates],
+    }
+
+
+def _fail(where: str, message: str) -> None:
+    raise ValueError(f"invalid kg health report at {where}: {message}")
+
+
+def _check_number(where: str, value: object) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(where, f"expected a number, got {type(value).__name__}")
+
+
+def _check_count(where: str, value: object) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        _fail(where, "expected a non-negative integer")
+    return int(value)  # for mypy; _fail always raises
+
+
+def _check_count_map(where: str, value: object) -> int:
+    if not isinstance(value, Mapping):
+        _fail(where, "expected an object")
+        return 0
+    total = 0
+    for key, count in value.items():
+        if not isinstance(key, str) or not key:
+            _fail(where, "keys must be non-empty strings")
+        total += _check_count(f"{where}[{key!r}]", count)
+    return total
+
+
+def _check_buckets(where: str, value: object) -> None:
+    if not isinstance(value, list) or not value:
+        _fail(where, "expected a non-empty list")
+        return
+    previous = 0
+    for index, bucket in enumerate(value):
+        b_where = f"{where}[{index}]"
+        if not isinstance(bucket, Mapping):
+            _fail(b_where, "expected an object")
+        count = _check_count(f"{b_where}.count", bucket.get("count"))
+        if count < previous:
+            _fail(f"{b_where}.count", "bucket counts must be non-decreasing")
+        previous = count
+        le = bucket.get("le")
+        if le != "+Inf":
+            _check_number(f"{b_where}.le", le)
+    if value[-1].get("le") != "+Inf":
+        _fail(where, "last bucket must be the +Inf overflow bucket")
+
+
+def _check_degree(where: str, value: object) -> None:
+    if not isinstance(value, Mapping):
+        _fail(where, "expected an object")
+        return
+    nodes = _check_count(f"{where}.nodes", value.get("nodes"))
+    _check_count(f"{where}.max", value.get("max"))
+    _check_number(f"{where}.mean", value.get("mean"))
+    _check_buckets(f"{where}.buckets", value.get("buckets"))
+    last = value["buckets"][-1]["count"]
+    if last != nodes:
+        _fail(f"{where}.buckets", f"overflow bucket holds {last} nodes, "
+              f"summary says {nodes}")
+
+
+def _check_score_histogram(where: str, value: object, triples: int) -> None:
+    if not isinstance(value, Mapping):
+        _fail(where, "expected an object")
+        return
+    edges = value.get("edges")
+    if not isinstance(edges, list) or len(edges) < 2:
+        _fail(f"{where}.edges", "expected a list of at least two bin edges")
+    counts = value.get("counts")
+    if not isinstance(counts, list) or len(counts) != len(edges) - 1:
+        _fail(f"{where}.counts", "expected one count per bin")
+    total = sum(_check_count(f"{where}.counts[{i}]", c)
+                for i, c in enumerate(counts))
+    if total != triples:
+        _fail(f"{where}.counts", f"bin counts sum to {total}, "
+              f"snapshot has {triples} triples")
+    for key in ("mean", "min", "max"):
+        _check_number(f"{where}.{key}", value.get(key))
+
+
+def _check_snapshot(where: str, snap: object) -> None:
+    if not isinstance(snap, Mapping):
+        _fail(where, "expected an object")
+        return
+    if not isinstance(snap.get("version"), str):
+        _fail(f"{where}.version", "expected a string")
+    parent = snap.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        _fail(f"{where}.parent", "expected a string or null")
+    triples = _check_count(f"{where}.triples", snap.get("triples"))
+    for key in ("nodes", "entries", "support_total", "merged_edges"):
+        _check_count(f"{where}.{key}", snap.get(key))
+    _check_number(f"{where}.dedup_ratio", snap.get("dedup_ratio"))
+    for key in ("relation_edges", "domain_edges", "behavior_edges"):
+        total = _check_count_map(f"{where}.{key}", snap.get(key))
+        if total != triples:
+            _fail(f"{where}.{key}", f"edge counts sum to {total}, "
+                  f"snapshot has {triples} triples")
+    for key in ("head_degree", "tail_degree"):
+        _check_degree(f"{where}.{key}", snap.get(key))
+    for key in ("plausibility", "typicality"):
+        _check_score_histogram(f"{where}.{key}", snap.get(key), triples)
+    funnel = snap.get("funnel")
+    _check_count_map(f"{where}.funnel", funnel)
+    assert isinstance(funnel, Mapping)  # narrowed by _check_count_map
+    if all(stage in funnel for stage in FUNNEL_STAGES):
+        widths = [funnel[stage] for stage in FUNNEL_STAGES]
+        if any(a < b for a, b in zip(widths, widths[1:])):
+            _fail(f"{where}.funnel",
+                  "funnel must narrow: candidates >= filtered >= critic_accepted")
+
+
+def _check_drift(where: str, item: object) -> None:
+    if not isinstance(item, Mapping):
+        _fail(where, "expected an object")
+        return
+    for key in ("parent_version", "child_version"):
+        if not isinstance(item.get(key), str):
+            _fail(f"{where}.{key}", "expected a string")
+    metrics = item.get("metrics")
+    if not isinstance(metrics, Mapping) or not metrics:
+        _fail(f"{where}.metrics", "expected a non-empty object")
+        return
+    for key, value in metrics.items():
+        _check_number(f"{where}.metrics[{key!r}]", value)
+    breaches = item.get("breaches")
+    if not isinstance(breaches, list):
+        _fail(f"{where}.breaches", "expected a list")
+        return
+    for index, breach in enumerate(breaches):
+        b_where = f"{where}.breaches[{index}]"
+        if not isinstance(breach, Mapping):
+            _fail(b_where, "expected an object")
+        for key in ("breach_id", "rule", "metric"):
+            if not isinstance(breach.get(key), str) or not breach.get(key):
+                _fail(f"{b_where}.{key}", "expected a non-empty string")
+        if breach["metric"] not in metrics:
+            _fail(f"{b_where}.metric",
+                  f"breached metric {breach['metric']!r} missing from metrics")
+        for key in ("value", "threshold"):
+            _check_number(f"{b_where}.{key}", breach.get(key))
+        if breach.get("state") != "firing":
+            _fail(f"{b_where}.state", "gate breaches always report as firing")
+
+
+def _check_gate(where: str, item: object) -> None:
+    if not isinstance(item, Mapping):
+        _fail(where, "expected an object")
+        return
+    if not isinstance(item.get("version"), str):
+        _fail(f"{where}.version", "expected a string")
+    if not isinstance(item.get("promote"), bool):
+        _fail(f"{where}.promote", "expected a boolean")
+    breaches = item.get("breaches")
+    if not isinstance(breaches, list) or any(
+            not isinstance(b, str) for b in breaches):
+        _fail(f"{where}.breaches", "expected a list of strings")
+    if item["promote"] and breaches:
+        _fail(f"{where}.promote", "a promoting decision cannot carry breaches")
+    if not item["promote"] and not breaches:
+        _fail(f"{where}.promote", "a blocking decision must name its breaches")
+
+
+def validate_kg_health(payload: object) -> None:
+    """Raise :class:`ValueError` unless ``payload`` matches the
+    ``repro.obs.kg_health/v1`` schema produced by :func:`kg_health_report`."""
+    if not isinstance(payload, Mapping):
+        raise ValueError("kg health report must be a JSON object")
+    if payload.get("schema") != KG_HEALTH_SCHEMA:
+        _fail("schema",
+              f"expected {KG_HEALTH_SCHEMA!r}, got {payload.get('schema')!r}")
+    snapshots = payload.get("snapshots")
+    if not isinstance(snapshots, list):
+        _fail("snapshots", "expected a list")
+        return
+    for index, snap in enumerate(snapshots):
+        _check_snapshot(f"snapshots[{index}]", snap)
+    drift = payload.get("drift")
+    if not isinstance(drift, list):
+        _fail("drift", "expected a list")
+        return
+    for index, item in enumerate(drift):
+        _check_drift(f"drift[{index}]", item)
+    gates = payload.get("gates")
+    if not isinstance(gates, list):
+        _fail("gates", "expected a list")
+        return
+    for index, item in enumerate(gates):
+        _check_gate(f"gates[{index}]", item)

@@ -21,7 +21,14 @@ package solves:
   replica at a time (drain → swap+warm → restore) while watching the
   :class:`~repro.obs.slo.SloEvaluator` burn-rate signals, and rolls the
   cluster back to the parent snapshot automatically when availability
-  or latency SLOs start burning mid-rollout.
+  or latency SLOs start burning mid-rollout;
+* **quality gating** — :mod:`repro.refresh.quality` adapts the
+  knowledge-plane observability in :mod:`repro.obs.kg_health` /
+  :mod:`repro.obs.drift` to snapshots: a
+  :class:`SnapshotQualityGate` scores a candidate's health and drift
+  against its lineage parent, and the rollout controller blocks or
+  rolls back on a negative :class:`GateDecision` — so rollouts are
+  guarded on knowledge quality, not just serving SLOs.
 
 Snapshots are constructed only through :func:`build_snapshot` (the
 ``snapshot-builder-only`` cosmolint rule enforces this outside this
@@ -30,6 +37,12 @@ exactly one byte-for-byte content.
 """
 
 from repro.refresh.builder import KnowledgeRefresher, RefreshConfig, RefreshReport
+from repro.refresh.quality import (
+    GateDecision,
+    SnapshotQualityGate,
+    edge_keys,
+    snapshot_health,
+)
 from repro.refresh.rollout import (
     RolloutController,
     RolloutReport,
@@ -61,4 +74,8 @@ __all__ = [
     "SnapshotGenerator",
     "rollout_slo_specs",
     "mixed_version_violation",
+    "GateDecision",
+    "SnapshotQualityGate",
+    "edge_keys",
+    "snapshot_health",
 ]

@@ -1,0 +1,182 @@
+"""Snapshot quality gate: health + drift checks on the rollout path.
+
+:mod:`repro.obs.kg_health` and :mod:`repro.obs.drift` are pure
+observation over plain column data; this module is the adapter that
+walks actual :class:`~repro.refresh.snapshot.KgSnapshot` objects and
+their :class:`~repro.refresh.snapshot.SnapshotStore` lineage:
+
+* :func:`snapshot_health` rebuilds the snapshot's triples into a
+  columnar :class:`~repro.core.kg.KnowledgeGraph` and computes its
+  :class:`~repro.obs.kg_health.KgHealthReport`;
+* :func:`edge_keys` extracts the content-identity edge set (the same
+  ``(head, relation, tail)`` identities the snapshot checksum sorts),
+  so added/removed-edge rates are exact, not inferred from counts;
+* :class:`SnapshotQualityGate` ties it together: given a candidate
+  snapshot it assesses health, diffs against the registered parent,
+  runs the drift rules, and returns a :class:`GateDecision` the
+  :class:`~repro.refresh.rollout.RolloutController` consults before
+  promoting — the ``snapshot-health-gate`` cosmolint rule enforces
+  that controllers are constructed with one.
+
+Assessments are cached per version (snapshots are immutable and
+content-addressed, so a version's health can never change), which keeps
+the gate free on every rollout tick after the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.kg import KnowledgeGraph
+from repro.obs.drift import (DriftReport, DriftRule, default_drift_rules,
+                             evaluate_drift)
+from repro.obs.kg_health import (KgHealthReport, compute_kg_health,
+                                 publish_kg_health)
+from repro.refresh.snapshot import KgSnapshot, SnapshotStore
+
+__all__ = [
+    "snapshot_health",
+    "edge_keys",
+    "GateDecision",
+    "SnapshotQualityGate",
+]
+
+
+def snapshot_health(snapshot: KgSnapshot, *,
+                    funnel: dict[str, int] | None = None) -> KgHealthReport:
+    """Compute a snapshot's :class:`KgHealthReport`.
+
+    The snapshot's triples are replayed into a fresh columnar
+    :class:`KnowledgeGraph` (the same merge bookkeeping serving uses)
+    and health is one vectorized pass over its ``columns()``.
+    """
+    graph = KnowledgeGraph()
+    for triple in snapshot.triples:
+        graph.add(triple)
+    return compute_kg_health(
+        graph.columns(),
+        version=snapshot.version,
+        parent=snapshot.parent,
+        entries=len(snapshot),
+        funnel=funnel,
+    )
+
+
+def edge_keys(snapshot: KgSnapshot) -> set[tuple[str, str, str]]:
+    """The snapshot's edge identity set: ``(head, relation, tail)``.
+
+    Support and scores are deliberately excluded — a re-scored or
+    re-merged edge is still the *same* knowledge, and counting it as
+    removed+added would double-charge the drift rates.
+    """
+    return {(t.head, t.relation.value, t.tail) for t in snapshot.triples}
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """One promote/block verdict for a candidate snapshot."""
+
+    version: str
+    parent_version: str | None
+    promote: bool
+    #: Human-readable breach descriptions, empty iff promoting.
+    breaches: tuple[str, ...]
+    health: KgHealthReport
+    parent_health: KgHealthReport | None
+    drift: DriftReport | None
+
+    def as_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "parent_version": self.parent_version,
+            "promote": self.promote,
+            "breaches": list(self.breaches),
+        }
+
+
+class SnapshotQualityGate:
+    """Assess candidate snapshots against their lineage before rollout.
+
+    A root snapshot (no parent, or parent unknown to the store) has no
+    baseline to drift from and promotes on health alone; a child is
+    additionally scored by :func:`repro.obs.drift.evaluate_drift`
+    against its registered parent.  When a ``registry`` is supplied,
+    every assessed snapshot's health is published as
+    ``kg_health_*`` gauges so the scrape loop exports it.
+    """
+
+    def __init__(self, store: SnapshotStore,
+                 rules: Sequence[DriftRule] | None = None,
+                 registry: Any = None):
+        self._store = store
+        self._rules = tuple(rules) if rules is not None else default_drift_rules()
+        self._registry = registry
+        self._health: dict[str, KgHealthReport] = {}
+        self._decisions: dict[str, GateDecision] = {}
+
+    @property
+    def rules(self) -> tuple[DriftRule, ...]:
+        return self._rules
+
+    @property
+    def decisions(self) -> list[GateDecision]:
+        """Every distinct decision made, in assessment order."""
+        return list(self._decisions.values())
+
+    def health_of(self, snapshot: KgSnapshot) -> KgHealthReport:
+        """The (cached) health report for a snapshot."""
+        report = self._health.get(snapshot.version)
+        if report is None:
+            report = snapshot_health(snapshot)
+            self._health[snapshot.version] = report
+            if self._registry is not None:
+                publish_kg_health(report, self._registry)
+        return report
+
+    def assess(self, candidate: KgSnapshot) -> GateDecision:
+        """Promote-or-block verdict for ``candidate``; cached by version."""
+        cached = self._decisions.get(candidate.version)
+        if cached is not None:
+            return cached
+        health = self.health_of(candidate)
+        parent = (self._store.get(candidate.parent)
+                  if candidate.parent is not None
+                  and candidate.parent in self._store else None)
+        if parent is None:
+            decision = GateDecision(
+                version=candidate.version,
+                parent_version=candidate.parent,
+                promote=True,
+                breaches=(),
+                health=health,
+                parent_health=None,
+                drift=None,
+            )
+        else:
+            parent_health = self.health_of(parent)
+            parent_edges = edge_keys(parent)
+            child_edges = edge_keys(candidate)
+            drift = evaluate_drift(
+                parent_health,
+                health,
+                added_edges=len(child_edges - parent_edges),
+                removed_edges=len(parent_edges - child_edges),
+                entries_added=len(set(candidate.entries) - set(parent.entries)),
+                entries_removed=len(set(parent.entries) - set(candidate.entries)),
+                rules=self._rules,
+            )
+            decision = GateDecision(
+                version=candidate.version,
+                parent_version=candidate.parent,
+                promote=drift.ok,
+                breaches=tuple(
+                    f"{b.rule}: {b.metric}={b.value:.4f} > {b.threshold:.4f}"
+                    for b in drift.breaches
+                ),
+                health=health,
+                parent_health=parent_health,
+                drift=drift,
+            )
+        self._decisions[candidate.version] = decision
+        return decision

@@ -10,14 +10,21 @@ scrape, after the :class:`~repro.obs.slo.SloEvaluator` evaluated — and
 executes exactly one step per tick, so SLO damage from any step is
 observed before the next one runs.
 
-Before every step the controller checks the guard: if any guarded
-objective (availability, latency by default) has an alert pending or
-firing, the rollout **rolls back in the same tick** — drained replicas
-are restored, every replica already on the target version is re-drained,
-re-swapped to the parent snapshot and restored, and the dead-letter
-queues are re-driven so queries that died against the bad snapshot heal
+Before every step the controller checks two guards.  The **quality
+gate** (a :class:`~repro.refresh.quality.SnapshotQualityGate`, when
+provided) judges the *knowledge itself*: a candidate whose relation mix,
+critic scores or edge volume drifted from its parent is **blocked before
+the first replica is touched** (state ``BLOCKED``), and a gate that
+turns negative mid-rollout triggers the same-tick rollback below.  The
+**SLO guard** judges the serving impact: if any guarded objective
+(availability, latency by default) has an alert pending or firing, the
+rollout **rolls back in the same tick** — drained replicas are restored,
+every replica already on the target version is re-drained, re-swapped to
+the parent snapshot and restored, and the dead-letter queues are
+re-driven so queries that died against the bad snapshot heal
 immediately.  Every state edge lands in the structured event log
-(``rollout.*`` kinds) and under a tracer span, so alert reports
+(``rollout.*`` kinds, including ``rollout.gate_pass`` /
+``rollout.gate_block``) and under a tracer span, so alert reports
 cross-reference the rollout that caused them.
 
 :class:`SnapshotGenerator` is the version-aware generator used by the
@@ -130,6 +137,7 @@ class RolloutState(str, Enum):
     ROLLING = "rolling"            #: stepping through the replica plan
     COMPLETE = "complete"          #: every replica on the target version
     ROLLED_BACK = "rolled_back"    #: guard tripped; cluster back on parent
+    BLOCKED = "blocked"            #: quality gate refused before first step
 
 
 @dataclass(frozen=True)
@@ -144,6 +152,9 @@ class RolloutReport:
     rollback_objective: str
     rollback_alert: str
     redriven: int
+    blocked: bool = False
+    gate_promote: bool = True
+    gate_breaches: tuple[str, ...] = ()
 
     def as_dict(self) -> dict:
         return {
@@ -155,6 +166,9 @@ class RolloutReport:
             "rollback_objective": self.rollback_objective,
             "rollback_alert": self.rollback_alert,
             "redriven": self.redriven,
+            "blocked": self.blocked,
+            "gate_promote": self.gate_promote,
+            "gate_breaches": list(self.gate_breaches),
         }
 
 
@@ -165,6 +179,11 @@ class RolloutController:
     the rollback destination.  ``guarded`` names the evaluator
     objectives whose pending/firing alerts abort the rollout; they must
     exist in the evaluator so a typo cannot silently disable the guard.
+    ``quality_gate`` is anything with
+    ``assess(snapshot) -> GateDecision`` — normally a
+    :class:`~repro.refresh.quality.SnapshotQualityGate` — consulted
+    before every step; the ``snapshot-health-gate`` cosmolint rule
+    requires construction sites to pass one.
     """
 
     def __init__(
@@ -174,6 +193,7 @@ class RolloutController:
         target: KgSnapshot,
         evaluator: SloEvaluator,
         guarded: tuple[str, ...] = ("availability", "latency-p99"),
+        quality_gate=None,
     ):
         if target.parent is None:
             raise ValueError(
@@ -191,6 +211,8 @@ class RolloutController:
         if missing:
             raise ValueError(f"guarded objectives not in evaluator: {missing}")
         self.guarded = tuple(guarded)
+        self.quality_gate = quality_gate
+        self.gate_decision = None
         self.state = RolloutState.IDLE
         self.rollback_objective = ""
         self.rollback_alert = ""
@@ -205,7 +227,8 @@ class RolloutController:
 
     @property
     def done(self) -> bool:
-        return self.state in (RolloutState.COMPLETE, RolloutState.ROLLED_BACK)
+        return self.state in (RolloutState.COMPLETE, RolloutState.ROLLED_BACK,
+                              RolloutState.BLOCKED)
 
     # ------------------------------------------------------------------
     def tick(self, now: float) -> str | None:
@@ -213,11 +236,23 @@ class RolloutController:
 
         Call once per scrape, *after* ``evaluator.evaluate(now)`` — the
         guard reads the freshly-stepped alert state.  Returns the step
-        executed (``"drain"``/``"swap"``/``"restore"``/``"rollback"``)
-        or None when the rollout is already finished.
+        executed (``"drain"``/``"swap"``/``"restore"``/``"rollback"``/
+        ``"gate-block"``) or None when the rollout is already finished.
         """
         if self.done:
             return None
+        decision = self._consult_gate()
+        if decision is not None and not decision.promote:
+            first = decision.breaches[0] if decision.breaches else "unhealthy"
+            if self.state is RolloutState.IDLE:
+                self.state = RolloutState.BLOCKED
+                self.steps_executed.append("gate-block")
+                self._emit("rollout.blocked", version=self.target.version,
+                           breaches=len(decision.breaches), first_breach=first)
+                return "gate-block"
+            self._rollback("knowledge-quality", first,
+                           breaches=len(decision.breaches))
+            return "rollback"
         if self.state is RolloutState.IDLE:
             self.state = RolloutState.ROLLING
             self._emit("rollout.start", version=self.target.version,
@@ -225,7 +260,8 @@ class RolloutController:
                        replicas=len(self.cluster.router.replicas))
         breach = self._guard_breached()
         if breach is not None:
-            self._rollback(breach)
+            self._rollback(breach.objective, breach.alert_id,
+                           peak_burn_rate=breach.peak_burn_rate)
             return "rollback"
         step, replica_id = self._plan[self._step_index]
         with self.cluster.tracer.span(f"rollout.{step}", replica=replica_id,
@@ -247,6 +283,28 @@ class RolloutController:
         return step
 
     # ------------------------------------------------------------------
+    def _consult_gate(self):
+        """Ask the quality gate about the target; emit on decision edges.
+
+        The gate caches by version, so this is free after the first
+        tick; ``rollout.gate_pass``/``rollout.gate_block`` is emitted
+        only when the decision object changes (a stateful gate may flip
+        mid-rollout, e.g. after re-registering lineage).
+        """
+        if self.quality_gate is None:
+            return None
+        decision = self.quality_gate.assess(self.target)
+        if decision is not self.gate_decision:
+            self.gate_decision = decision
+            if decision.promote:
+                self._emit("rollout.gate_pass", version=self.target.version)
+            else:
+                self._emit("rollout.gate_block", version=self.target.version,
+                           breaches=len(decision.breaches),
+                           first_breach=decision.breaches[0]
+                           if decision.breaches else "unhealthy")
+        return decision
+
     def _guard_breached(self) -> Alert | None:
         """The first pending/firing alert on a guarded objective, if any."""
         for alert in self.evaluator.alerts():
@@ -255,20 +313,22 @@ class RolloutController:
                 return alert
         return None
 
-    def _rollback(self, breach: Alert) -> None:
+    def _rollback(self, objective: str, alert_id: str, **start_attrs) -> None:
         """Return the whole cluster to the parent snapshot in one tick.
 
-        Order matters: mid-step drained replicas are restored first
-        (rolling back must never leave capacity down), then every
-        replica already on the target version is drained, re-swapped to
-        the parent and restored, and finally the dead-letter queues are
-        re-driven against the restored knowledge.
+        ``objective`` names what tripped — a guarded SLO objective, or
+        ``"knowledge-quality"`` when the gate flipped mid-rollout — and
+        ``alert_id`` the specific alert or breach.  Order matters:
+        mid-step drained replicas are restored first (rolling back must
+        never leave capacity down), then every replica already on the
+        target version is drained, re-swapped to the parent and
+        restored, and finally the dead-letter queues are re-driven
+        against the restored knowledge.
         """
-        self.rollback_objective = breach.objective
-        self.rollback_alert = breach.alert_id
+        self.rollback_objective = objective
+        self.rollback_alert = alert_id
         self._emit("rollout.rollback_start", version=self.target.version,
-                   objective=breach.objective, alert_id=breach.alert_id,
-                   peak_burn_rate=breach.peak_burn_rate)
+                   objective=objective, alert_id=alert_id, **start_attrs)
         router = self.cluster.router
         with self.cluster.tracer.span("rollout.rollback",
                                       version=self.parent.version):
@@ -304,6 +364,7 @@ class RolloutController:
 
     # ------------------------------------------------------------------
     def report(self) -> RolloutReport:
+        decision = self.gate_decision
         return RolloutReport(
             target_version=self.target.version,
             parent_version=self.parent.version,
@@ -313,6 +374,9 @@ class RolloutController:
             rollback_objective=self.rollback_objective,
             rollback_alert=self.rollback_alert,
             redriven=self.redriven,
+            blocked=self.state is RolloutState.BLOCKED,
+            gate_promote=decision.promote if decision is not None else True,
+            gate_breaches=tuple(decision.breaches) if decision is not None else (),
         )
 
 

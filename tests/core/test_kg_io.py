@@ -2,10 +2,12 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.core.kg import KnowledgeGraph
-from repro.core.kg_io import load_kg, record_to_triple, save_kg, triple_to_record
+from repro.core.kg_io import (load_kg, load_kg_columnar, record_to_triple,
+                              save_kg, save_kg_columnar, triple_to_record)
 from repro.core.relations import Relation
 from repro.core.triples import KnowledgeTriple
 
@@ -81,3 +83,88 @@ def test_load_rejects_empty_file(tmp_path):
     path.write_text("")
     with pytest.raises(ValueError, match="empty"):
         load_kg(path)
+
+
+# ----------------------------------------------------------------------
+# Columnar archive validation: a truncated or hand-edited npz must fail
+# with a ValueError naming the inconsistency, never a numpy IndexError
+# mid-replay.
+
+def _columnar_path(tmp_path):
+    kg = KnowledgeGraph()
+    kg.add(_triple("camping"))
+    kg.add(_triple("hiking", support=1))
+    path = tmp_path / "kg.npz"
+    save_kg_columnar(kg, path)
+    return path
+
+
+def _tampered(tmp_path, path, **overrides):
+    """Rewrite the archive with some arrays replaced (or dropped)."""
+    with np.load(path, allow_pickle=False) as archive:
+        payload = {name: archive[name] for name in archive.files}
+    for name, value in overrides.items():
+        if value is None:
+            payload.pop(name)
+        else:
+            payload[name] = value
+    out = tmp_path / "tampered.npz"
+    with out.open("wb") as handle:
+        np.savez_compressed(handle, **payload)
+    return out
+
+
+def test_columnar_rejects_missing_columns(tmp_path):
+    path = _tampered(tmp_path, _columnar_path(tmp_path), plausibility=None)
+    with pytest.raises(ValueError, match="missing columns.*plausibility"):
+        load_kg_columnar(path)
+
+
+def test_columnar_rejects_truncated_numeric_column(tmp_path):
+    source = _columnar_path(tmp_path)
+    with np.load(source, allow_pickle=False) as archive:
+        short = archive["tail"][:-1]
+    path = _tampered(tmp_path, source, tail=short)
+    with pytest.raises(ValueError, match="'tail' has 1 values for 2 edges"):
+        load_kg_columnar(path)
+
+
+def test_columnar_rejects_truncated_lengths(tmp_path):
+    path = _tampered(tmp_path, _columnar_path(tmp_path),
+                     head_ids_len=np.array([1], dtype=np.int32))
+    with pytest.raises(ValueError, match="head_ids_len has 1 entries"):
+        load_kg_columnar(path)
+
+
+def test_columnar_rejects_negative_lengths(tmp_path):
+    # Sum still matches the flat array (2 values), so only the explicit
+    # negativity check can catch this before slicing goes quadratic.
+    path = _tampered(tmp_path, _columnar_path(tmp_path),
+                     head_ids_len=np.array([-1, 3], dtype=np.int32))
+    with pytest.raises(ValueError, match="negative lengths"):
+        load_kg_columnar(path)
+
+
+def test_columnar_rejects_flat_length_mismatch(tmp_path):
+    path = _tampered(tmp_path, _columnar_path(tmp_path),
+                     head_ids_flat=np.array(["p1"], dtype=np.str_))
+    with pytest.raises(ValueError, match="lengths disagree with flat values"):
+        load_kg_columnar(path)
+
+
+def test_columnar_rejects_out_of_range_intern_ids(tmp_path):
+    source = _columnar_path(tmp_path)
+    with np.load(source, allow_pickle=False) as archive:
+        bad = archive["relation"].copy()
+    bad[0] = 99
+    path = _tampered(tmp_path, source, relation=bad)
+    with pytest.raises(ValueError,
+                       match="'relation' has ids outside the 'relations'"):
+        load_kg_columnar(path)
+
+
+def test_columnar_roundtrip_survives_validation(tmp_path):
+    path = _columnar_path(tmp_path)
+    loaded = load_kg_columnar(path)
+    assert len(loaded) == 2
+    assert {t.tail for t in loaded.triples()} == {"camping", "hiking"}

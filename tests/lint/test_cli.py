@@ -80,6 +80,7 @@ def test_list_rules_names_the_contract_set(capsys):
         "registry-injection",
         "rng-provenance",
         "snapshot-builder-only",
+        "snapshot-health-gate",
         "trace-id-contract",
         "unscoped-rng",
         "wall-clock",

@@ -64,6 +64,13 @@ def fixture_package(tmp_path):
         def exported():
             return 1
         """)
+    module(pkg / "gateless.py", """
+        __all__ = ["deploy"]
+        from repro.refresh import RolloutController
+
+        def deploy(cluster, store, green, evaluator):
+            return RolloutController(cluster, store, green, evaluator)
+        """)
     module(pkg / "snapmod.py", """
         __all__ = ["forge"]
         from repro.refresh import KgSnapshot
@@ -98,7 +105,7 @@ def test_json_reporter_exact_payload(fixture_package):
     payload = json.loads(format_json(result))
 
     assert payload["version"] == REPORT_VERSION
-    assert payload["files_checked"] == 12
+    assert payload["files_checked"] == 13
     assert payload["suppressed"] == 0
     assert payload["baselined"] == 0
     assert payload["diagnostics"] == [
@@ -127,6 +134,17 @@ def test_json_reporter_exact_payload(fixture_package):
             "message": (
                 "bare except catches everything including KeyboardInterrupt; "
                 "catch the specific fault types instead"
+            ),
+        },
+        {
+            "rule": "snapshot-health-gate",
+            "path": str(fixture_package / "gateless.py"),
+            "line": 5,
+            "col": 12,
+            "message": (
+                "RolloutController constructed without a quality_gate; "
+                "pass a repro.refresh.SnapshotQualityGate so drifted "
+                "knowledge is blocked before promotion"
             ),
         },
         {
@@ -222,7 +240,7 @@ def test_text_reporter_lines_and_summary(fixture_package):
     result = lint_paths([fixture_package])
     text = format_text(result)
     lines = text.splitlines()
-    assert lines[-1] == "10 problems in 12 files (0 suppressed)"
+    assert lines[-1] == "11 problems in 13 files (0 suppressed)"
     assert f"{fixture_package / 'allmod.py'}:1:1: [all-consistency] " in lines[0]
     assert all(":" in line for line in lines[:-1])
 

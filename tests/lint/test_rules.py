@@ -11,6 +11,7 @@ from repro.lint.rules import (
     MutableDefaultRule,
     OverbroadExceptRule,
     SnapshotBuilderOnlyRule,
+    SnapshotHealthGateRule,
     TraceIdContractRule,
     UnscopedRngRule,
     WallClockRule,
@@ -602,3 +603,104 @@ def test_syntax_error_reported_as_diagnostic():
     result = lint_source("def broken(:\n", display_path="pkg/mod.py")
     assert [d.rule for d in result.diagnostics] == ["syntax-error"]
     assert result.files_checked == 1
+
+
+# -- snapshot-health-gate ------------------------------------------------
+
+
+def test_snapshot_health_gate_flags_ungated_controller():
+    diags = run_rule(
+        SnapshotHealthGateRule,
+        """
+        from repro.refresh import RolloutController
+
+        controller = RolloutController(cluster, store, green, evaluator)
+        """,
+        path="src/repro/cli.py",
+    )
+    assert [d.rule for d in diags] == ["snapshot-health-gate"]
+    assert "quality_gate" in diags[0].message
+
+
+def test_snapshot_health_gate_flags_explicit_none():
+    diags = run_rule(
+        SnapshotHealthGateRule,
+        """
+        from repro.refresh import RolloutController
+
+        controller = RolloutController(cluster, store, green, evaluator,
+                                       quality_gate=None)
+        """,
+        path="src/repro/cli.py",
+    )
+    assert [d.rule for d in diags] == ["snapshot-health-gate"]
+    assert "disables" in diags[0].message
+
+
+def test_snapshot_health_gate_allows_gated_construction():
+    diags = run_rule(
+        SnapshotHealthGateRule,
+        """
+        from repro.refresh import RolloutController, SnapshotQualityGate
+
+        gate = SnapshotQualityGate(store)
+        controller = RolloutController(cluster, store, green, evaluator,
+                                       quality_gate=gate)
+        """,
+        path="src/repro/cli.py",
+    )
+    assert diags == []
+
+
+def test_snapshot_health_gate_resolves_module_attribute_calls():
+    diags = run_rule(
+        SnapshotHealthGateRule,
+        """
+        from repro.refresh import rollout
+
+        controller = rollout.RolloutController(cluster, store, green, evaluator)
+        """,
+        path="benchmarks/bench_rollout_staleness.py",
+    )
+    assert [d.rule for d in diags] == ["snapshot-health-gate"]
+
+
+def test_snapshot_health_gate_tolerates_kwargs_splat():
+    # A **kwargs splat may carry the gate; resolving that is beyond
+    # static analysis, so the rule stays quiet rather than crying wolf.
+    diags = run_rule(
+        SnapshotHealthGateRule,
+        """
+        from repro.refresh import RolloutController
+
+        controller = RolloutController(cluster, store, green, evaluator,
+                                       **extra)
+        """,
+        path="src/repro/cli.py",
+    )
+    assert diags == []
+
+
+def test_snapshot_health_gate_exempts_the_refresh_package():
+    source = """
+    from repro.refresh import RolloutController
+
+    controller = RolloutController(cluster, store, green, evaluator)
+    """
+    assert run_rule(SnapshotHealthGateRule, source,
+                    path="src/repro/refresh/rollout.py") == []
+    assert len(run_rule(SnapshotHealthGateRule, source,
+                        path="src/repro/serving/deploy.py")) == 1
+
+
+def test_snapshot_health_gate_ignores_unrelated_constructors():
+    diags = run_rule(
+        SnapshotHealthGateRule,
+        """
+        from somewhere.other import RolloutController
+
+        controller = RolloutController()
+        """,
+        path="src/repro/cli.py",
+    )
+    assert diags == []

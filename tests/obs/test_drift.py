@@ -1,0 +1,168 @@
+"""Snapshot drift detection: JS divergence, rules, evaluation."""
+
+import pytest
+
+from repro.core.kg import KnowledgeGraph
+from repro.core.relations import Relation
+from repro.core.triples import KnowledgeTriple
+from repro.obs import (
+    DriftRule,
+    compute_kg_health,
+    default_drift_rules,
+    evaluate_drift,
+    js_divergence,
+)
+
+
+def _graph(relations, plausibility=0.8):
+    kg = KnowledgeGraph()
+    for index, relation in enumerate(relations):
+        kg.add(KnowledgeTriple(
+            head=f"q{index}", relation=relation, tail=f"intent {index}",
+            domain="Apparel", behavior="search-buy",
+            plausibility=plausibility, typicality=0.6,
+        ))
+    return kg
+
+
+def _health(relations, version, parent=None, plausibility=0.8, entries=10):
+    return compute_kg_health(_graph(relations, plausibility).columns(),
+                             version=version, parent=parent, entries=entries)
+
+
+# ---------------------------------------------------------------- js_divergence
+
+def test_js_identical_distributions_is_zero():
+    assert js_divergence({"a": 3, "b": 1}, {"a": 6, "b": 2}) == pytest.approx(0.0)
+    assert js_divergence([1, 2, 3], [2, 4, 6]) == pytest.approx(0.0)
+
+
+def test_js_disjoint_support_is_one():
+    assert js_divergence({"a": 5}, {"b": 5}) == pytest.approx(1.0)
+
+
+def test_js_empty_cases():
+    assert js_divergence({}, {}) == 0.0
+    assert js_divergence([], []) == 0.0
+    assert js_divergence({}, {"a": 3}) == 1.0
+    assert js_divergence([1, 1], []) == 1.0
+
+
+def test_js_is_symmetric_and_bounded():
+    p, q = {"a": 9, "b": 1}, {"a": 1, "b": 9}
+    forward = js_divergence(p, q)
+    assert forward == pytest.approx(js_divergence(q, p))
+    assert 0.0 < forward < 1.0
+
+
+def test_js_sequences_zero_pad_to_common_width():
+    # Trailing zeros are implicit: [1, 2] vs [1, 2, 0] are identical.
+    assert js_divergence([1, 2], [1, 2, 0]) == pytest.approx(0.0)
+    assert js_divergence([1, 0], [0, 1]) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------- rules
+
+def test_drift_rule_rejects_bad_specs():
+    with pytest.raises(ValueError, match="needs a name"):
+        DriftRule(name="", description="d", metric="m", max_value=0.5)
+    with pytest.raises(ValueError, match="needs a metric"):
+        DriftRule(name="r", description="d", metric="", max_value=0.5)
+    with pytest.raises(ValueError, match="max_value"):
+        DriftRule(name="r", description="d", metric="m", max_value=-1.0)
+    with pytest.raises(ValueError, match="max_value"):
+        DriftRule(name="r", description="d", metric="m",
+                  max_value=float("nan"))
+
+
+def test_default_rules_all_reference_known_metrics():
+    parent = _health([Relation.USED_FOR_FUNC] * 4, "v1")
+    child = _health([Relation.USED_FOR_FUNC] * 4, "v2", parent="v1")
+    report = evaluate_drift(parent, child)  # would raise on unknown metric
+    for rule in default_drift_rules():
+        assert rule.metric in report.metrics
+
+
+def test_unknown_metric_raises():
+    parent = _health([Relation.USED_FOR_FUNC], "v1")
+    child = _health([Relation.USED_FOR_FUNC], "v2")
+    bad = DriftRule(name="r", description="d", metric="nope", max_value=1.0)
+    with pytest.raises(ValueError, match="unknown metric 'nope'"):
+        evaluate_drift(parent, child, rules=(bad,))
+
+
+# ------------------------------------------------------------- evaluate_drift
+
+def test_identical_snapshots_pass_clean():
+    mix = [Relation.USED_FOR_FUNC, Relation.CAPABLE_OF, Relation.USED_TO]
+    parent = _health(mix * 4, "v1")
+    child = _health(mix * 4, "v2", parent="v1")
+    report = evaluate_drift(parent, child)
+    assert report.ok
+    assert report.parent_version == "v1" and report.child_version == "v2"
+    assert report.metrics["relation_js"] == pytest.approx(0.0)
+    assert report.metrics["plausibility_mean_drop"] == 0.0
+
+
+def test_relation_collapse_breaches_mix_rule():
+    mix = [Relation.USED_FOR_FUNC, Relation.CAPABLE_OF, Relation.USED_TO,
+           Relation.USED_FOR_AUD]
+    parent = _health(mix * 3, "v1")
+    child = _health([Relation.IS_A] * 12, "v2", parent="v1")
+    report = evaluate_drift(parent, child)
+    assert not report.ok
+    breached = {breach.rule for breach in report.breaches}
+    assert "relation-mix-shift" in breached
+    breach = next(b for b in report.breaches if b.rule == "relation-mix-shift")
+    assert breach.metric == "relation_js"
+    assert breach.value == pytest.approx(1.0)
+    assert breach.threshold == 0.35
+    assert breach.state == "firing"
+    assert breach.breach_id == "relation-mix-shift#1"
+
+
+def test_plausibility_collapse_is_directional():
+    mix = [Relation.USED_FOR_FUNC] * 6
+    parent = _health(mix, "v1", plausibility=0.85)
+    worse = _health(mix, "v2", plausibility=0.15)
+    report = evaluate_drift(parent, worse)
+    assert report.metrics["plausibility_mean_drop"] == pytest.approx(0.7)
+    assert "critic-plausibility-collapse" in {b.rule for b in report.breaches}
+    # An *improvement* of the same magnitude never fires the drop rule.
+    better = evaluate_drift(worse, parent)
+    assert better.metrics["plausibility_mean_drop"] == 0.0
+    assert "critic-plausibility-collapse" not in {
+        b.rule for b in better.breaches}
+
+
+def test_edge_rates_are_relative_to_parent():
+    mix = [Relation.USED_FOR_FUNC] * 8
+    parent = _health(mix, "v1")
+    child = _health(mix, "v2")
+    report = evaluate_drift(parent, child, added_edges=4, removed_edges=3,
+                            entries_added=5, entries_removed=0)
+    assert report.metrics["added_edge_rate"] == pytest.approx(4 / 8)
+    assert report.metrics["removed_edge_rate"] == pytest.approx(3 / 8)
+    assert report.metrics["entry_added_rate"] == pytest.approx(5 / 10)
+    breached = {b.rule for b in report.breaches}
+    assert "edge-growth-rate" not in breached
+    assert "edge-removal-rate" in breached  # 3/8 > 0.25
+
+
+def test_entry_rates_are_measured_but_unruled():
+    # An emptied serving table is the SLO guard's job; the drift gate
+    # records the rate without ruling on it.
+    mix = [Relation.USED_FOR_FUNC] * 4
+    parent = _health(mix, "v1", entries=10)
+    child = _health(mix, "v2", entries=0)
+    report = evaluate_drift(parent, child, entries_removed=10)
+    assert report.metrics["entry_removed_rate"] == pytest.approx(1.0)
+    assert report.ok
+
+
+def test_report_as_dict_sorts_metrics():
+    parent = _health([Relation.USED_FOR_FUNC] * 2, "v1")
+    child = _health([Relation.IS_A] * 2, "v2")
+    payload = evaluate_drift(parent, child).as_dict()
+    assert list(payload["metrics"]) == sorted(payload["metrics"])
+    assert all(b["state"] == "firing" for b in payload["breaches"])

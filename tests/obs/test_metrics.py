@@ -253,3 +253,32 @@ def test_empty_registry_is_still_a_valid_shared_registry():
     pipeline = CosmoPipeline(PipelineConfig(), registry=registry)
     assert pipeline.registry is registry
     assert "pipeline_stage_items_total" in registry
+
+
+def test_histogram_bare_observe_keeps_existing_bucket_exemplar():
+    """Latest-wins means latest *exemplar*: an observation without one
+    must not clear the bucket's remembered trace."""
+    hist = Histogram((0.1, 1.0))
+    hist.observe(0.05, exemplar="trace-a")
+    hist.observe(0.07)                       # same bucket, no exemplar
+    assert hist.exemplars() == [(0.1, "trace-a", 0.05)]
+    hist.observe(0.06, exemplar="trace-b")   # a real exemplar replaces
+    assert hist.exemplars() == [(0.1, "trace-b", 0.06)]
+
+
+def test_histogram_merge_exemplar_replacement_order_is_merge_order():
+    """Per bucket, the most recently merged histogram's exemplar wins;
+    a merged histogram with a bare bucket leaves the target's intact."""
+    target = Histogram((0.1, 1.0))
+    first = Histogram((0.1, 1.0))
+    second = Histogram((0.1, 1.0))
+    bare = Histogram((0.1, 1.0))
+    first.observe(0.05, exemplar="first")
+    second.observe(0.06, exemplar="second")
+    bare.observe(0.07)                       # same bucket, no exemplar
+    target.merge(first).merge(second).merge(bare)
+    assert target.exemplars() == [(0.1, "second", 0.06)]
+    # Reversed merge order flips the winner — order is the only rule.
+    reverse = Histogram((0.1, 1.0))
+    reverse.merge(second).merge(first)
+    assert reverse.exemplars() == [(0.1, "first", 0.05)]

@@ -134,3 +134,36 @@ def test_one_sampler_serves_many_tracers():
     sampler.finish("t1", ts=0.0, duration_s=0.1, flagged=True)
     assert [s.name for s in cluster.spans()] == ["cluster.request"]
     assert [s.name for s in replica.spans()] == ["serving.request"]
+
+
+def test_buffer_capacity_frees_when_a_trace_resolves():
+    """The overflow bound is on *buffered* spans, not total spans seen:
+    resolving a trace releases its slots for later traces."""
+    sampler = TailSampler(slowest_k=1, head_every=0, max_buffered_spans=2)
+    tracer = Tracer(sampler=sampler)
+    _traced_span(tracer, "a", name="a0")
+    _traced_span(tracer, "a", name="a1")
+    assert sampler.buffered_spans == 2
+    sampler.finish("a", ts=0.0, duration_s=0.5, flagged=True)
+    assert sampler.buffered_spans == 0
+    span = _traced_span(tracer, "b", name="b0")   # capacity is back
+    assert span.retained and sampler.overflow == 0
+    assert sampler.buffered_spans == 1
+
+
+def test_overflow_bound_is_shared_across_traces():
+    """One global bound: a span-heavy trace starves later traces' spans,
+    and each refusal is counted exactly once."""
+    sampler = TailSampler(slowest_k=2, head_every=0, max_buffered_spans=3)
+    tracer = Tracer(sampler=sampler)
+    for i in range(3):
+        _traced_span(tracer, "hog", name=f"hog{i}")
+    starved = _traced_span(tracer, "victim", name="victim0")
+    assert not starved.retained
+    assert sampler.overflow == 1
+    assert sampler.buffered_spans == 3
+    # Both traces still resolve; the victim just has no spans to keep.
+    sampler.finish("hog", ts=0.0, duration_s=0.9, flagged=True)
+    sampler.finish("victim", ts=0.0, duration_s=0.1, flagged=True)
+    assert sorted(s.name for s in tracer.spans()) == ["hog0", "hog1", "hog2"]
+    assert sampler.pending_traces == 0

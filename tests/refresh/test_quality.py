@@ -1,0 +1,166 @@
+"""Snapshot quality gate: health adapter, edge identity, gate verdicts."""
+
+import pytest
+
+from repro.core.relations import Relation
+from repro.core.triples import KnowledgeTriple
+from repro.obs import MetricsRegistry
+from repro.refresh import (
+    SnapshotQualityGate,
+    SnapshotStore,
+    build_snapshot,
+    edge_keys,
+    snapshot_health,
+)
+
+_MIX = (Relation.USED_FOR_FUNC, Relation.CAPABLE_OF, Relation.USED_TO,
+        Relation.USED_FOR_AUD)
+
+
+def _triples(count, offset=0, relations=_MIX, plausibility=0.8):
+    return [
+        KnowledgeTriple(
+            head=f"query {k % 7:02d}",
+            relation=relations[k % len(relations)],
+            tail=f"intent {k % 11:02d}",
+            domain=("Apparel", "Electronics")[k % 2],
+            behavior="search-buy" if k % 3 else "co-buy",
+            plausibility=plausibility,
+            typicality=0.6,
+            support=1 + k % 3,
+        )
+        for k in range(offset, offset + count)
+    ]
+
+
+def _entries(tag, count=12):
+    return {f"query {i:02d}": f"it is used for query {i:02d} ({tag})."
+            for i in range(count)}
+
+
+def test_snapshot_health_carries_lineage_and_entry_count():
+    blue = build_snapshot(_entries("blue"), triples=_triples(20), note="blue")
+    green = build_snapshot(_entries("green"), triples=_triples(24),
+                           parent=blue, note="green")
+    health = snapshot_health(green)
+    assert health.version == green.version
+    assert health.parent == blue.version
+    assert health.entries == len(green)
+    assert health.triples == len({t.key for t in green.triples})
+    assert sum(health.relation_edges.values()) == health.triples
+
+
+def test_edge_keys_ignore_scores_and_support():
+    base = _triples(10)
+    rescored = [
+        KnowledgeTriple(head=t.head, relation=t.relation, tail=t.tail,
+                        domain=t.domain, behavior=t.behavior,
+                        plausibility=t.plausibility / 2,
+                        typicality=t.typicality / 2, support=t.support + 5)
+        for t in base
+    ]
+    a = build_snapshot(_entries("a"), triples=base)
+    b = build_snapshot(_entries("b"), triples=rescored)
+    assert edge_keys(a) == edge_keys(b)
+    assert edge_keys(a) == {(t.head, t.relation.value, t.tail) for t in base}
+
+
+def test_root_snapshot_promotes_without_drift():
+    store = SnapshotStore()
+    root = build_snapshot(_entries("root"), triples=_triples(20))
+    store.add(root)
+    gate = SnapshotQualityGate(store)
+    decision = gate.assess(root)
+    assert decision.promote
+    assert decision.breaches == ()
+    assert decision.drift is None and decision.parent_health is None
+
+
+def test_unregistered_parent_promotes_trivially():
+    # The store enforces oldest-first lineage on add(); a candidate can
+    # still be assessed before registration, when its parent is unknown.
+    store = SnapshotStore()
+    blue = build_snapshot(_entries("blue"), triples=_triples(20))
+    green = build_snapshot(_entries("green"), triples=_triples(20),
+                           parent=blue)
+    decision = SnapshotQualityGate(store).assess(green)
+    assert decision.promote and decision.drift is None
+
+
+def test_healthy_child_promotes_with_drift_report():
+    store = SnapshotStore()
+    blue = build_snapshot(_entries("blue"), triples=_triples(40))
+    green = build_snapshot(_entries("green"),
+                           triples=_triples(40) + _triples(6, offset=40),
+                           parent=blue)
+    store.add(blue)
+    store.add(green)
+    gate = SnapshotQualityGate(store)
+    decision = gate.assess(green)
+    assert decision.promote
+    assert decision.drift is not None and decision.drift.ok
+    assert decision.drift.metrics["added_edge_rate"] > 0.0
+    assert decision.drift.metrics["removed_edge_rate"] == 0.0
+    assert decision.parent_health is not None
+    assert decision.parent_health.version == blue.version
+
+
+def test_poisoned_child_blocks_with_readable_breaches():
+    store = SnapshotStore()
+    blue = build_snapshot(_entries("blue"), triples=_triples(40))
+    poisoned = build_snapshot(
+        _entries("green"),
+        triples=_triples(40, relations=(Relation.IS_A,), plausibility=0.05),
+        parent=blue,
+    )
+    store.add(blue)
+    store.add(poisoned)
+    decision = SnapshotQualityGate(store).assess(poisoned)
+    assert not decision.promote
+    assert decision.breaches  # human-readable "rule: metric=v > t" strings
+    assert any(b.startswith("relation-mix-shift:") for b in decision.breaches)
+    assert any("plausibility" in b for b in decision.breaches)
+
+
+def test_assessments_are_cached_by_version():
+    store = SnapshotStore()
+    blue = build_snapshot(_entries("blue"), triples=_triples(20))
+    green = build_snapshot(_entries("green"), triples=_triples(22),
+                           parent=blue)
+    store.add(blue)
+    store.add(green)
+    gate = SnapshotQualityGate(store)
+    first = gate.assess(green)
+    assert gate.assess(green) is first            # decision cached
+    assert gate.health_of(green) is first.health  # health cached
+    assert [d.version for d in gate.decisions] == [green.version]
+
+
+def test_registry_receives_health_gauges_once_per_snapshot():
+    store = SnapshotStore()
+    registry = MetricsRegistry()
+    blue = build_snapshot(_entries("blue"), triples=_triples(20))
+    green = build_snapshot(_entries("green"), triples=_triples(24),
+                           parent=blue)
+    store.add(blue)
+    store.add(green)
+    gate = SnapshotQualityGate(store, registry=registry)
+    gate.assess(green)
+    versions = {labels["version"]
+                for labels, _ in registry.get("kg_health_triples").samples()}
+    assert versions == {blue.version, green.version}
+
+
+def test_custom_rules_override_defaults():
+    store = SnapshotStore()
+    blue = build_snapshot(_entries("blue"), triples=_triples(40))
+    poisoned = build_snapshot(
+        _entries("green"),
+        triples=_triples(40, relations=(Relation.IS_A,), plausibility=0.05),
+        parent=blue,
+    )
+    store.add(blue)
+    store.add(poisoned)
+    gate = SnapshotQualityGate(store, rules=())  # gate with no rules at all
+    assert gate.rules == ()
+    assert gate.assess(poisoned).promote

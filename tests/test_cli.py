@@ -330,3 +330,86 @@ def test_rollout_poisoned_rolls_back_and_redrives(tmp_path, capsys):
     assert "rolled_back" in out
     assert "rollback: objective" in out
     assert "request accounting" in out and "OK" in out
+
+
+# -- kghealth drive --------------------------------------------------------
+_KGHEALTH_ARGS = [
+    "kghealth", "--seed", "0", "--replicas", "2", "--n-queries", "48",
+    "--requests-per-phase", "400",
+]
+
+
+def test_kghealth_healthy_promotes_and_is_deterministic(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_events, validate_kg_health
+
+    def run(tag):
+        health = tmp_path / f"health-{tag}.json"
+        events = tmp_path / f"events-{tag}.jsonl"
+        code = main(_KGHEALTH_ARGS + [
+            "--scenario", "healthy",
+            "--out-health", str(health), "--out-events", str(events),
+        ])
+        assert code == 0
+        return health.read_bytes(), events.read_bytes()
+
+    first = run("a")
+    second = run("b")
+    # Simulated clocks and arithmetic triples: artifacts are byte-stable.
+    assert first == second
+
+    doc = json.loads(first[0])
+    validate_kg_health(doc)
+    assert len(doc["snapshots"]) == 2       # parent + candidate lineage
+    assert len(doc["drift"]) == 1
+    (gate,) = doc["gates"]
+    assert gate["promote"] is True and gate["breaches"] == []
+    assert doc["drift"][0]["breaches"] == []
+
+    events = validate_events(first[1].decode())
+    kinds = [e["kind"] for e in events]
+    assert "rollout.gate_pass" in kinds
+    assert "rollout.gate_block" not in kinds
+    assert "rollout.start" in kinds and "rollout.complete" in kinds
+
+    out = capsys.readouterr().out
+    assert "gate verdict: PROMOTE" in out
+    assert "no alerts fired" in out
+    assert "request accounting" in out and "OK" in out
+
+
+def test_kghealth_poisoned_blocks_before_first_swap(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_events, validate_kg_health
+
+    health = tmp_path / "health.json"
+    events_path = tmp_path / "events.jsonl"
+    code = main(_KGHEALTH_ARGS + [
+        "--scenario", "poisoned",
+        "--out-health", str(health), "--out-events", str(events_path),
+    ])
+    # Exit 1 distinguishes "gate tripped" from exit 2 "accounting broke".
+    assert code == 1
+
+    doc = json.loads(health.read_text())
+    validate_kg_health(doc)
+    (gate,) = doc["gates"]
+    assert gate["promote"] is False
+    assert gate["breaches"]
+    assert any(b.startswith("relation-mix-shift") for b in gate["breaches"])
+
+    events = validate_events(events_path.read_text())
+    kinds = [e["kind"] for e in events]
+    assert "rollout.gate_block" in kinds
+    assert "rollout.blocked" in kinds
+    assert "rollout.start" not in kinds     # never touched a replica
+    assert "rollout.swap" not in kinds
+
+    out = capsys.readouterr().out
+    assert "gate verdict: BLOCK" in out
+    assert "drift breach: " in out
+    # The poisoned snapshot serves perfectly — the SLO guard sees nothing.
+    assert "no alerts fired" in out
+    assert "blocked" in out
